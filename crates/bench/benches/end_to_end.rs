@@ -1,0 +1,123 @@
+//! End-to-end GA benchmarks: per-generation cost by operator, DPGA
+//! thread-parallel vs sequential (the paper's near-linear-speedup claim,
+//! within one machine), and the incremental pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gapart_core::incremental::incremental_ga;
+use gapart_core::population::InitStrategy;
+use gapart_core::dpga::MigrationPolicy;
+use gapart_core::{
+    CrossoverOp, DpgaConfig, DpgaEngine, GaConfig, GaEngine, Topology,
+};
+use gapart_graph::generators::paper_graph;
+use gapart_graph::incremental::grow_local;
+use gapart_rsb::{rsb_partition, RsbOptions};
+
+fn generation_cost_by_operator(c: &mut Criterion) {
+    let graph = paper_graph(167);
+    let mut group = c.benchmark_group("ga_10gens_167n_pop64");
+    group.sample_size(10);
+    for op in [
+        CrossoverOp::TwoPoint,
+        CrossoverOp::Uniform,
+        CrossoverOp::Knux,
+        CrossoverOp::Dknux,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(op), &op, |bench, &op| {
+            bench.iter(|| {
+                let config = GaConfig::paper_defaults(4)
+                    .with_crossover(op)
+                    .with_population_size(64)
+                    .with_generations(10)
+                    .with_seed(1);
+                GaEngine::new(&graph, config).unwrap().run()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn dpga_parallel_vs_sequential(c: &mut Criterion) {
+    let graph = paper_graph(309);
+    let mut group = c.benchmark_group("dpga_16subpops_10gens_309n");
+    group.sample_size(10);
+    for (label, parallel) in [("parallel", true), ("sequential", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &parallel, |bench, &par| {
+            bench.iter(|| {
+                let config = DpgaConfig {
+                    base: GaConfig::paper_defaults(8)
+                        .with_population_size(320)
+                        .with_generations(10)
+                        .with_seed(2),
+                    topology: Topology::Hypercube(4),
+                    migration_interval: 5,
+                    num_migrants: 2,
+                    migration_policy: MigrationPolicy::Best,
+                    parallel: par,
+                    init_overrides: None,
+                };
+                DpgaEngine::new(&graph, config).unwrap().run()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn incremental_pipeline(c: &mut Criterion) {
+    let base = paper_graph(183);
+    let old = rsb_partition(&base, 4, &RsbOptions::default()).unwrap();
+    let grown = grow_local(&base, 60, 3).unwrap().graph;
+    let mut group = c.benchmark_group("incremental_ga_183p60");
+    group.sample_size(10);
+    group.bench_function("30gens_pop64", |bench| {
+        bench.iter(|| {
+            let config = GaConfig::paper_defaults(4)
+                .with_population_size(64)
+                .with_generations(30)
+                .with_seed(4);
+            incremental_ga(&grown, &old, config).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn seeding_strategies(c: &mut Criterion) {
+    let graph = paper_graph(167);
+    let rsb = rsb_partition(&graph, 4, &RsbOptions::default()).unwrap();
+    let mut group = c.benchmark_group("init_20gens_167n_pop64");
+    group.sample_size(10);
+    let cases: [(&str, InitStrategy); 3] = [
+        ("random", InitStrategy::Random),
+        ("balanced", InitStrategy::BalancedRandom),
+        (
+            "seeded",
+            InitStrategy::Seeded {
+                partition: rsb.labels().to_vec(),
+                perturbation: 0.1,
+            },
+        ),
+    ];
+    for (label, init) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &init, |bench, init| {
+            bench.iter(|| {
+                let config = GaConfig::paper_defaults(4)
+                    .with_population_size(64)
+                    .with_generations(20)
+                    .with_init(init.clone())
+                    .with_seed(5);
+                GaEngine::new(&graph, config).unwrap().run()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = generation_cost_by_operator, dpga_parallel_vs_sequential,
+              incremental_pipeline, seeding_strategies
+}
+criterion_main!(benches);

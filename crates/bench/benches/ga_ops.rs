@@ -1,0 +1,108 @@
+//! Micro-benchmarks of the genetic operators — the per-generation cost
+//! drivers behind the paper's "GAs do require much more execution time"
+//! caveat, and the ablation data for operator choice.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gapart_core::hillclimb::{hill_climb, swap_climb};
+use gapart_core::ops::crossover::{CrossoverCtx, CrossoverOp};
+use gapart_core::ops::mutation::{boundary_mutate, mutate};
+use gapart_core::{FitnessEvaluator, FitnessKind};
+use gapart_graph::generators::paper_graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn crossover_ops(c: &mut Criterion) {
+    let graph = paper_graph(309);
+    let n = graph.num_nodes();
+    let parts = 8u32;
+    let mut rng = StdRng::seed_from_u64(1);
+    let a: Vec<u32> = (0..n).map(|_| rng.gen_range(0..parts)).collect();
+    let b: Vec<u32> = (0..n).map(|_| rng.gen_range(0..parts)).collect();
+    let reference: Vec<u32> = (0..n).map(|_| rng.gen_range(0..parts)).collect();
+    let ctx = CrossoverCtx::with_reference(&graph, &reference);
+
+    let mut group = c.benchmark_group("crossover_309n_8p");
+    group.sample_size(30);
+    for op in CrossoverOp::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(op), &op, |bench, op| {
+            bench.iter(|| op.apply(black_box(&a), black_box(&b), &ctx, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn mutation_ops(c: &mut Criterion) {
+    let graph = paper_graph(309);
+    let n = graph.num_nodes();
+    let parts = 8u32;
+    let mut rng = StdRng::seed_from_u64(2);
+    let base: Vec<u32> = (0..n).map(|_| rng.gen_range(0..parts)).collect();
+
+    let mut group = c.benchmark_group("mutation_309n");
+    group.sample_size(30);
+    group.bench_function("uniform_pm0.01", |bench| {
+        bench.iter_batched(
+            || base.clone(),
+            |mut genes| mutate(&mut genes, 0.01, parts, &mut rng),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("boundary_pm0.05", |bench| {
+        bench.iter_batched(
+            || base.clone(),
+            |mut genes| boundary_mutate(&mut genes, &graph, 0.05, &mut rng),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn fitness_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fitness_eval");
+    group.sample_size(50);
+    for n in [78usize, 167, 309] {
+        let graph = paper_graph(n);
+        let evaluator = FitnessEvaluator::new(&graph, 8, FitnessKind::TotalCut, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let genes: Vec<u32> = (0..n).map(|_| rng.gen_range(0..8)).collect();
+        let mut scratch = gapart_core::fitness::EvalScratch::default();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| evaluator.evaluate_with(black_box(&genes), &mut scratch))
+        });
+    }
+    group.finish();
+}
+
+fn climbers(c: &mut Criterion) {
+    let graph = paper_graph(309);
+    let evaluator = FitnessEvaluator::new(&graph, 8, FitnessKind::TotalCut, 1.0);
+    let mut rng = StdRng::seed_from_u64(4);
+    let base: Vec<u32> = (0..309).map(|_| rng.gen_range(0..8)).collect();
+
+    let mut group = c.benchmark_group("climbers_309n_8p");
+    group.sample_size(20);
+    group.bench_function("hill_climb_to_optimum", |bench| {
+        bench.iter_batched(
+            || base.clone(),
+            |mut genes| hill_climb(&evaluator, &mut genes, 100),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("swap_climb_to_optimum", |bench| {
+        bench.iter_batched(
+            || base.clone(),
+            |mut genes| swap_climb(&evaluator, &mut genes, 100),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = crossover_ops, mutation_ops, fitness_eval, climbers
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Whole-partitioner benchmarks: the RSB and IBP baselines the paper
+//! compares against, plus the multilevel variant and greedy refinement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gapart_graph::generators::{jittered_mesh, paper_graph};
+use gapart_graph::Partition;
+use gapart_ibp::{ibp_partition, IbpOptions};
+use gapart_ibp::index::IndexScheme;
+use gapart_rsb::multilevel::MultilevelOptions;
+use gapart_rsb::refine::greedy_refine;
+use gapart_rsb::{multilevel_rsb, rsb_partition, RsbOptions};
+
+fn rsb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rsb_8parts");
+    group.sample_size(10);
+    for n in [167usize, 309, 1000] {
+        let graph = jittered_mesh(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| rsb_partition(&graph, 8, &RsbOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn multilevel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multilevel_rsb_8parts");
+    group.sample_size(10);
+    for n in [1000usize, 3000] {
+        let graph = jittered_mesh(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| multilevel_rsb(&graph, 8, &MultilevelOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn ibp(c: &mut Criterion) {
+    let graph = paper_graph(309);
+    let mut group = c.benchmark_group("ibp_309n_8parts");
+    group.sample_size(30);
+    for scheme in IndexScheme::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(scheme), &scheme, |bench, &s| {
+            let opts = IbpOptions {
+                scheme: s,
+                resolution: 1024,
+            };
+            bench.iter(|| ibp_partition(&graph, 8, &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn refinement(c: &mut Criterion) {
+    let graph = paper_graph(309);
+    let mut group = c.benchmark_group("greedy_refine_309n");
+    group.sample_size(20);
+    group.bench_function("from_round_robin_8p", |bench| {
+        bench.iter_batched(
+            || Partition::round_robin(309, 8),
+            |mut p| greedy_refine(&graph, &mut p, 0.05, 8),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = rsb, multilevel, ibp, refinement
+}
+criterion_main!(benches);

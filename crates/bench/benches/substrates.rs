@@ -1,0 +1,93 @@
+//! Substrate benchmarks: graph generation, Laplacian assembly, the
+//! Lanczos eigensolver, coarsening, traversal, and METIS IO.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gapart_graph::coarsen::coarsen_hem;
+use gapart_graph::generators::jittered_mesh;
+use gapart_graph::io::{from_metis, to_metis};
+use gapart_graph::traversal::{bfs_distances, connected_components};
+use gapart_linalg::lanczos::lanczos_smallest_csr;
+use gapart_linalg::LanczosOptions;
+use gapart_rsb::laplacian;
+
+fn generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jittered_mesh");
+    group.sample_size(20);
+    for n in [309usize, 2000, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| jittered_mesh(black_box(n), 7))
+        });
+    }
+    group.finish();
+}
+
+fn spectral(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fiedler_via_lanczos");
+    group.sample_size(10);
+    for n in [309usize, 1000, 3000] {
+        let graph = jittered_mesh(n, 5);
+        let l = laplacian(&graph);
+        let ones = vec![1.0 / (n as f64).sqrt(); n];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                lanczos_smallest_csr(&l, 1, std::slice::from_ref(&ones), &LanczosOptions::default())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn laplacian_assembly(c: &mut Criterion) {
+    let graph = jittered_mesh(3000, 5);
+    let mut group = c.benchmark_group("laplacian_assembly");
+    group.sample_size(20);
+    group.bench_function("3000n", |bench| bench.iter(|| laplacian(black_box(&graph))));
+    group.finish();
+}
+
+fn coarsening(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coarsen_hem");
+    group.sample_size(20);
+    for n in [1000usize, 5000] {
+        let graph = jittered_mesh(n, 9);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| coarsen_hem(black_box(&graph), 3))
+        });
+    }
+    group.finish();
+}
+
+fn traversal(c: &mut Criterion) {
+    let graph = jittered_mesh(5000, 11);
+    let mut group = c.benchmark_group("traversal_5000n");
+    group.sample_size(30);
+    group.bench_function("bfs_distances", |bench| {
+        bench.iter(|| bfs_distances(black_box(&graph), 0))
+    });
+    group.bench_function("connected_components", |bench| {
+        bench.iter(|| connected_components(black_box(&graph)))
+    });
+    group.finish();
+}
+
+fn metis_io(c: &mut Criterion) {
+    let graph = jittered_mesh(2000, 13);
+    let text = to_metis(&graph);
+    let mut group = c.benchmark_group("metis_io_2000n");
+    group.sample_size(20);
+    group.bench_function("serialize", |bench| bench.iter(|| to_metis(black_box(&graph))));
+    group.bench_function("parse", |bench| {
+        bench.iter(|| from_metis(black_box(&text)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = generation, spectral, laplacian_assembly, coarsening, traversal, metis_io
+}
+criterion_main!(benches);

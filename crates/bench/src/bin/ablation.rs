@@ -1,0 +1,172 @@
+//! Ablations for the design choices DESIGN.md calls out:
+//!
+//! 1. KNUX reference source: IBP seed vs RSB seed vs random reference.
+//! 2. Hill climbing: off vs per-offspring vs final-best.
+//! 3. Migration topology: hypercube vs ring vs single population.
+//! 4. Prior graph contraction (multilevel) vs flat GA on a larger mesh.
+//!
+//! Run: `cargo run -p gapart-bench --release --bin ablation`
+
+use gapart_bench::table::TextTable;
+use gapart_bench::ExperimentProtocol;
+use gapart_core::population::InitStrategy;
+use gapart_core::{
+    CrossoverOp, FitnessKind, GaConfig, GaEngine, HillClimbMode, Topology,
+};
+use gapart_graph::coarsen::{coarsen_to, project_through};
+use gapart_graph::generators::{jittered_mesh, paper_graph};
+use gapart_graph::partition::PartitionMetrics;
+use gapart_graph::Partition;
+use gapart_ibp::{ibp_partition, IbpOptions};
+use gapart_rsb::{rsb_partition, RsbOptions};
+
+fn main() {
+    let protocol = ExperimentProtocol::from_env();
+    let graph = paper_graph(144);
+    let parts = 4u32;
+    println!("Ablations on the 144-node graph, {parts} parts, Fitness 1");
+    println!(
+        "protocol: {} runs x {} generations, population {}\n",
+        protocol.runs, protocol.generations, protocol.population
+    );
+
+    // --- 1. Reference/seed source -------------------------------------
+    {
+        let mut t = TextTable::new(["seed source", "best cut"]);
+        let ibp = ibp_partition(&graph, parts, &IbpOptions::default()).unwrap();
+        let rsb = rsb_partition(&graph, parts, &RsbOptions::default()).unwrap();
+        let cases: [(&str, InitStrategy); 3] = [
+            (
+                "IBP seed",
+                InitStrategy::Seeded {
+                    partition: ibp.labels().to_vec(),
+                    perturbation: 0.1,
+                },
+            ),
+            (
+                "RSB seed",
+                InitStrategy::Seeded {
+                    partition: rsb.labels().to_vec(),
+                    perturbation: 0.1,
+                },
+            ),
+            ("random", InitStrategy::BalancedRandom),
+        ];
+        for (label, init) in cases {
+            let s = protocol.run(&graph, parts, FitnessKind::TotalCut, init);
+            t.row([label.to_string(), s.best_cut.to_string()]);
+        }
+        println!("1. DKNUX seed/reference source\n{}", t.render());
+    }
+
+    // --- 2. Hill climbing ----------------------------------------------
+    {
+        let mut t = TextTable::new(["hill climbing", "best cut"]);
+        for (label, mode) in [
+            ("off", HillClimbMode::Off),
+            ("offspring x1", HillClimbMode::Offspring { passes: 1 }),
+            ("offspring x3", HillClimbMode::Offspring { passes: 3 }),
+            ("final best x10", HillClimbMode::FinalBest { passes: 10 }),
+        ] {
+            let mut p = protocol.clone();
+            p.hill_climb = mode;
+            let s = p.run(
+                &graph,
+                parts,
+                FitnessKind::TotalCut,
+                InitStrategy::BalancedRandom,
+            );
+            t.row([label.to_string(), s.best_cut.to_string()]);
+        }
+        println!("2. Hill-climbing mode (§3.6)\n{}", t.render());
+    }
+
+    // --- 3. Topology -----------------------------------------------------
+    {
+        let mut t = TextTable::new(["topology", "best cut"]);
+        for (label, topo) in [
+            ("hypercube(4)", Topology::Hypercube(4)),
+            ("ring(16)", Topology::Ring(16)),
+            ("complete(16)", Topology::Complete(16)),
+            ("single pop", Topology::Hypercube(0)),
+        ] {
+            let mut p = protocol.clone();
+            p.topology = topo;
+            if p.population < 2 * topo.size() {
+                p.population = 2 * topo.size();
+            }
+            let s = p.run(
+                &graph,
+                parts,
+                FitnessKind::TotalCut,
+                InitStrategy::BalancedRandom,
+            );
+            t.row([label.to_string(), s.best_cut.to_string()]);
+        }
+        println!("3. DPGA topology (§3.4)\n{}", t.render());
+    }
+
+    // --- 4. Prior contraction on a 1200-node mesh ------------------------
+    {
+        let big = jittered_mesh(1200, 99);
+        let mut t = TextTable::new(["pipeline", "cut"]);
+
+        // Flat GA (modest budget — illustrates why the paper recommends
+        // contraction for large graphs).
+        let flat_cfg = GaConfig::paper_defaults(parts)
+            .with_population_size(128)
+            .with_generations(protocol.generations.min(80))
+            .with_seed(3);
+        let flat = GaEngine::new(&big, flat_cfg.clone()).unwrap().run();
+        t.row(["flat GA".to_string(), flat.best_cut.to_string()]);
+
+        // Contract → GA on coarse → project → GA refine on fine.
+        let levels = coarsen_to(&big, 150, 1);
+        let coarsest = levels.last().map(|l| &l.coarse).unwrap_or(&big);
+        let coarse_cfg = GaConfig::paper_defaults(parts)
+            .with_population_size(128)
+            .with_generations(protocol.generations.min(80))
+            .with_seed(3);
+        let coarse_res = GaEngine::new(coarsest, coarse_cfg).unwrap().run();
+        let projected: Partition = project_through(&levels, &coarse_res.best_partition);
+        let refine_cfg = flat_cfg
+            .clone()
+            .with_generations(30)
+            .seeded_from(&projected)
+            .with_hill_climb(HillClimbMode::FinalBest { passes: 10 });
+        let refined = GaEngine::new(&big, refine_cfg).unwrap().run();
+        t.row(["contract+GA+refine".to_string(), refined.best_cut.to_string()]);
+
+        let rsb = rsb_partition(&big, parts, &RsbOptions::default()).unwrap();
+        t.row([
+            "RSB".to_string(),
+            PartitionMetrics::compute(&big, &rsb).total_cut.to_string(),
+        ]);
+        println!("4. Prior graph contraction on a 1200-node mesh\n{}", t.render());
+    }
+
+    // --- 5. Crossover operator sweep -------------------------------------
+    {
+        let mut t = TextTable::new(["operator", "best cut"]);
+        for op in [
+            CrossoverOp::OnePoint,
+            CrossoverOp::TwoPoint,
+            CrossoverOp::KPoint(4),
+            CrossoverOp::Uniform,
+            CrossoverOp::Knux,
+            CrossoverOp::Dknux,
+            CrossoverOp::DknuxFitness(25),
+        ] {
+            let mut p = protocol.clone();
+            p.crossover = op;
+            let s = p.run(
+                &graph,
+                parts,
+                FitnessKind::TotalCut,
+                InitStrategy::BalancedRandom,
+            );
+            t.row([op.to_string(), s.best_cut.to_string()]);
+        }
+        println!("5. Crossover operator (§3.2-3.3)\n{}", t.render());
+    }
+}

@@ -1,0 +1,62 @@
+//! Figure 1: row-major and shuffled row-major indexing of an 8×8 grid.
+//!
+//! Regenerates both matrices from the IBP indexing code and asserts they
+//! equal the paper's figure exactly — a bitwise reproduction, not a
+//! statistical one.
+//!
+//! Run: `cargo run -p gapart-bench --release --bin figure1`
+
+use gapart_ibp::{figure1_row_major, figure1_shuffled};
+
+fn print_matrix(title: &str, m: &[[u64; 8]; 8]) {
+    println!("{title}");
+    for row in m {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v:02}")).collect();
+        println!("  {}", cells.join(" "));
+    }
+    println!();
+}
+
+fn main() {
+    println!("Figure 1 — indexing schemes for an 8x8 grid\n");
+    let rm = figure1_row_major();
+    let sh = figure1_shuffled();
+    print_matrix("(a) Row-Major Indexing", &rm);
+    print_matrix("(b) Shuffled Row-Major Indexing", &sh);
+
+    // The paper's exact matrices.
+    let paper_rm: [[u64; 8]; 8] = [
+        [0, 1, 2, 3, 4, 5, 6, 7],
+        [8, 9, 10, 11, 12, 13, 14, 15],
+        [16, 17, 18, 19, 20, 21, 22, 23],
+        [24, 25, 26, 27, 28, 29, 30, 31],
+        [32, 33, 34, 35, 36, 37, 38, 39],
+        [40, 41, 42, 43, 44, 45, 46, 47],
+        [48, 49, 50, 51, 52, 53, 54, 55],
+        [56, 57, 58, 59, 60, 61, 62, 63],
+    ];
+    let paper_sh: [[u64; 8]; 8] = [
+        [0, 1, 4, 5, 16, 17, 20, 21],
+        [2, 3, 6, 7, 18, 19, 22, 23],
+        [8, 9, 12, 13, 24, 25, 28, 29],
+        [10, 11, 14, 15, 26, 27, 30, 31],
+        [32, 33, 36, 37, 48, 49, 52, 53],
+        [34, 35, 38, 39, 50, 51, 54, 55],
+        [40, 41, 44, 45, 56, 57, 60, 61],
+        [42, 43, 46, 47, 58, 59, 62, 63],
+    ];
+    assert_eq!(rm, paper_rm, "row-major matrix deviates from the paper");
+    assert_eq!(sh, paper_sh, "shuffled matrix deviates from the paper");
+    println!("both matrices match the paper's Figure 1 exactly ✓");
+
+    // Bonus: the appendix's interleaving examples.
+    use gapart_ibp::interleave::{interleave, Dim};
+    let ex1 = interleave(&[Dim::new(0b001, 3), Dim::new(0b010, 3), Dim::new(0b110, 3)]);
+    let ex2 = interleave(&[Dim::new(0b101, 3), Dim::new(0b01, 2), Dim::new(0b0, 1)]);
+    println!("\nappendix examples:");
+    println!("  interleave(001, 010, 110) = {ex1:09b} (paper: 001011100)");
+    println!("  interleave(101, 01, 0)    = {ex2:06b} (paper: 100110)");
+    assert_eq!(ex1, 0b001011100);
+    assert_eq!(ex2, 0b100110);
+    println!("appendix examples match ✓");
+}

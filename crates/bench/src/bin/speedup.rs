@@ -1,0 +1,74 @@
+//! DPGA parallel-speedup measurement — the paper's §5 claim that "DPGA is
+//! an inherently parallel algorithm from which we can expect near-linear
+//! speedups", measured on this machine's thread pool.
+//!
+//! Runs the same 16-island DPGA (bit-identical results by construction)
+//! under rayon pools of 1, 2, 4, … threads and reports wall time and
+//! speedup versus the single-thread pool. On a single-core host all rows
+//! will show ~1×, which is itself the honest measurement.
+//!
+//! Run: `cargo run -p gapart-bench --release --bin speedup`
+
+use gapart_bench::table::TextTable;
+use gapart_bench::ExperimentProtocol;
+use gapart_core::population::InitStrategy;
+use gapart_core::{DpgaEngine, FitnessKind};
+use gapart_graph::generators::paper_graph;
+use std::time::Instant;
+
+fn main() {
+    let protocol = ExperimentProtocol::from_env();
+    let graph = paper_graph(309);
+    let parts = 8u32;
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "DPGA speedup on the 309-node graph, {parts} parts, 16 islands, {} generations",
+        protocol.generations
+    );
+    println!("host parallelism: {available} threads\n");
+
+    let mut threads = vec![1usize];
+    let mut t = 2usize;
+    while t <= available {
+        threads.push(t);
+        t *= 2;
+    }
+    if *threads.last().unwrap() != available && available > 1 {
+        threads.push(available);
+    }
+
+    let mut table = TextTable::new(["threads", "wall time", "speedup", "best cut"]);
+    let mut baseline: Option<f64> = None;
+    for &nthreads in &threads {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(nthreads)
+            .build()
+            .expect("thread pool");
+        let config = protocol.dpga_config(
+            parts,
+            FitnessKind::TotalCut,
+            InitStrategy::BalancedRandom,
+            None,
+            0,
+        );
+        let start = Instant::now();
+        let result = pool.install(|| {
+            DpgaEngine::new(&graph, config)
+                .expect("valid config")
+                .run()
+        });
+        let secs = start.elapsed().as_secs_f64();
+        let speedup = baseline.map_or(1.0, |b| b / secs);
+        if baseline.is_none() {
+            baseline = Some(secs);
+        }
+        table.row([
+            nthreads.to_string(),
+            format!("{secs:.2}s"),
+            format!("{speedup:.2}x"),
+            result.best_cut.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(identical best cuts across rows confirm the lockstep design: only time changes)");
+}

@@ -1,0 +1,117 @@
+//! Parameter sweeps — the supporting data behind the paper's §3.4/§5
+//! claims (distributed populations work, migration matters, GA cost
+//! scales with population) rendered as printable series.
+//!
+//! Sweeps: total population, migration interval, seeded-init perturbation,
+//! and DPGA thread speedup (wall-clock, parallel vs sequential, same
+//! seeds — results are bit-identical so only time differs).
+//!
+//! Run: `cargo run -p gapart-bench --release --bin sweep`
+
+use gapart_bench::table::TextTable;
+use gapart_bench::ExperimentProtocol;
+use gapart_core::population::InitStrategy;
+use gapart_core::{DpgaEngine, FitnessKind, Topology};
+use gapart_graph::generators::paper_graph;
+use std::time::Instant;
+
+fn main() {
+    let protocol = ExperimentProtocol::from_env();
+    let graph = paper_graph(167);
+    let parts = 4u32;
+    println!("Sweeps on the 167-node graph, {parts} parts, Fitness 1\n");
+
+    // --- population size -------------------------------------------------
+    {
+        let mut t = TextTable::new(["total population", "best cut", "mean cut"]);
+        for pop in [64usize, 128, 256, 320, 512] {
+            let mut p = protocol.clone();
+            p.population = pop;
+            p.runs = 3;
+            let s = p.run(&graph, parts, FitnessKind::TotalCut, InitStrategy::BalancedRandom);
+            t.row([
+                pop.to_string(),
+                s.best_cut.to_string(),
+                format!("{:.1}", s.mean_cut()),
+            ]);
+        }
+        println!("population size (16 islands)\n{}", t.render());
+    }
+
+    // --- migration interval ----------------------------------------------
+    {
+        let mut t = TextTable::new(["migration interval", "best cut"]);
+        for interval in [1usize, 3, 5, 10, 25, usize::MAX / 2] {
+            let mut cut = u64::MAX;
+            for r in 0..3usize {
+                let mut config = protocol.dpga_config(
+                    parts,
+                    FitnessKind::TotalCut,
+                    InitStrategy::BalancedRandom,
+                    None,
+                    r,
+                );
+                config.migration_interval = interval;
+                let res = DpgaEngine::new(&graph, config)
+                    .expect("valid config")
+                    .run();
+                cut = cut.min(res.best_cut);
+            }
+            let label = if interval > 1000 {
+                "never".to_string()
+            } else {
+                interval.to_string()
+            };
+            t.row([label, cut.to_string()]);
+        }
+        println!("migration interval (isolation → panmixia)\n{}", t.render());
+    }
+
+    // --- seeded-init perturbation ------------------------------------------
+    {
+        let seed_partition =
+            gapart_rsb::rsb_partition(&graph, parts, &Default::default()).unwrap();
+        let mut t = TextTable::new(["perturbation", "best cut"]);
+        for perturbation in [0.0f64, 0.05, 0.1, 0.25, 0.5] {
+            let init = InitStrategy::Seeded {
+                partition: seed_partition.labels().to_vec(),
+                perturbation,
+            };
+            let mut p = protocol.clone();
+            p.runs = 3;
+            let s = p.run(&graph, parts, FitnessKind::TotalCut, init);
+            t.row([format!("{perturbation:.2}"), s.best_cut.to_string()]);
+        }
+        println!("seeded-init perturbation (RSB seed)\n{}", t.render());
+    }
+
+    // --- parallel speedup ----------------------------------------------------
+    {
+        let mut t = TextTable::new(["driver", "wall time", "best cut"]);
+        for (label, parallel) in [("sequential", false), ("parallel (rayon)", true)] {
+            let mut config = protocol.dpga_config(
+                8,
+                FitnessKind::TotalCut,
+                InitStrategy::BalancedRandom,
+                None,
+                0,
+            );
+            config.parallel = parallel;
+            config.topology = Topology::Hypercube(4);
+            let start = Instant::now();
+            let res = DpgaEngine::new(&graph, config)
+                .expect("valid config")
+                .run();
+            t.row([
+                label.to_string(),
+                format!("{:.2?}", start.elapsed()),
+                res.best_cut.to_string(),
+            ]);
+        }
+        println!(
+            "DPGA driver (identical results, different wall time; {} threads available)\n{}",
+            std::thread::available_parallelism().map_or(0, |n| n.get()),
+            t.render()
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Table 1: DKNUX (population seeded with an IBP solution) vs RSB, using
+//! Fitness 1. Reports total inter-part edges `Σ_q C(q)/2`.
+//!
+//! Run: `cargo run -p gapart-bench --release --bin table1`
+
+use gapart_bench::paper_data::TABLE1;
+use gapart_bench::table::{vs_paper, TextTable};
+use gapart_bench::ExperimentProtocol;
+use gapart_core::FitnessKind;
+use gapart_graph::generators::paper_graph;
+use gapart_graph::partition::PartitionMetrics;
+use gapart_ibp::{ibp_partition, IbpOptions};
+use gapart_rsb::{rsb_partition, RsbOptions};
+
+fn main() {
+    let protocol = ExperimentProtocol::from_env();
+    println!("Table 1 — Best solutions: DKNUX (IBP-seeded) vs RSB, Fitness 1");
+    println!(
+        "protocol: {} runs x {} generations, population {}, {}\n",
+        protocol.runs, protocol.generations, protocol.population, protocol.topology
+    );
+
+    let parts_list = [2u32, 4, 8];
+    let mut table = TextTable::new(["graph / method", "2 parts", "4 parts", "8 parts"]);
+    for row in TABLE1 {
+        let n: usize = row.label.parse().expect("table1 labels are node counts");
+        let graph = paper_graph(n);
+
+        let mut ga_cells = Vec::new();
+        let mut rsb_cells = Vec::new();
+        for (i, &parts) in parts_list.iter().enumerate() {
+            let ibp_seed = ibp_partition(&graph, parts, &IbpOptions::default())
+                .expect("paper graphs carry coordinates");
+            let summary =
+                protocol.run_seeded(&graph, parts, FitnessKind::TotalCut, &ibp_seed);
+            ga_cells.push(vs_paper(summary.best_cut, Some(row.dknux[i])));
+
+            let rsb = rsb_partition(&graph, parts, &RsbOptions::default())
+                .expect("paper graphs are partitionable");
+            let rsb_cut = PartitionMetrics::compute(&graph, &rsb).total_cut;
+            rsb_cells.push(vs_paper(rsb_cut, Some(row.rsb[i])));
+        }
+        table.row([format!("{} nodes — DKNUX", row.label), ga_cells[0].clone(), ga_cells[1].clone(), ga_cells[2].clone()]);
+        table.row([format!("{} nodes — RSB", row.label), rsb_cells[0].clone(), rsb_cells[1].clone(), rsb_cells[2].clone()]);
+    }
+    println!("{}", table.render());
+    println!("(measured values are best-of-{} DPGA runs; paper values in parentheses)", protocol.runs);
+}

@@ -1,0 +1,45 @@
+//! Table 2: improving Recursive Spectral Bisection solutions with the GA,
+//! using Fitness 1. The population is seeded with the RSB partition; the
+//! GA must end at least as good and usually better.
+//!
+//! Run: `cargo run -p gapart-bench --release --bin table2`
+
+use gapart_bench::paper_data::TABLE2;
+use gapart_bench::table::{vs_paper, TextTable};
+use gapart_bench::ExperimentProtocol;
+use gapart_core::FitnessKind;
+use gapart_graph::generators::paper_graph;
+use gapart_graph::partition::PartitionMetrics;
+use gapart_rsb::{rsb_partition, RsbOptions};
+
+fn main() {
+    let protocol = ExperimentProtocol::from_env();
+    println!("Table 2 — Improving RSB solutions with the GA, Fitness 1");
+    println!(
+        "protocol: {} runs x {} generations, population {}, {}\n",
+        protocol.runs, protocol.generations, protocol.population, protocol.topology
+    );
+
+    let parts_list = [2u32, 4, 8];
+    let mut table = TextTable::new(["graph / method", "2 parts", "4 parts", "8 parts"]);
+    for row in TABLE2 {
+        let n: usize = row.label.parse().expect("table2 labels are node counts");
+        let graph = paper_graph(n);
+
+        let mut ga_cells = Vec::new();
+        let mut rsb_cells = Vec::new();
+        for (i, &parts) in parts_list.iter().enumerate() {
+            let rsb = rsb_partition(&graph, parts, &RsbOptions::default())
+                .expect("paper graphs are partitionable");
+            let rsb_cut = PartitionMetrics::compute(&graph, &rsb).total_cut;
+
+            let summary = protocol.run_seeded(&graph, parts, FitnessKind::TotalCut, &rsb);
+            ga_cells.push(vs_paper(summary.best_cut, Some(row.dknux[i])));
+            rsb_cells.push(vs_paper(rsb_cut, Some(row.rsb[i])));
+        }
+        table.row([format!("{} nodes — DKNUX", row.label), ga_cells[0].clone(), ga_cells[1].clone(), ga_cells[2].clone()]);
+        table.row([format!("{} nodes — RSB", row.label), rsb_cells[0].clone(), rsb_cells[1].clone(), rsb_cells[2].clone()]);
+    }
+    println!("{}", table.render());
+    println!("(measured values are best-of-{} DPGA runs; paper values in parentheses)", protocol.runs);
+}

@@ -1,0 +1,49 @@
+//! Table 3: incremental graph partitioning vs RSB-from-scratch, Fitness 1.
+//!
+//! Protocol per §4.2: partition the base graph, grow it by adding nodes in
+//! a random local area, then (a) incrementally repartition with the GA
+//! seeded from the old partition, and (b) run RSB from scratch on the
+//! grown graph for comparison.
+//!
+//! Run: `cargo run -p gapart-bench --release --bin table3`
+
+use gapart_bench::paper_data::{parse_incremental_label, TABLE3};
+use gapart_bench::runner::incremental_fixture;
+use gapart_bench::table::{vs_paper, TextTable};
+use gapart_bench::ExperimentProtocol;
+use gapart_core::FitnessKind;
+use gapart_graph::partition::PartitionMetrics;
+use gapart_rsb::{rsb_partition, RsbOptions};
+
+fn main() {
+    let protocol = ExperimentProtocol::from_env();
+    println!("Table 3 — Incremental partitioning (DKNUX) vs RSB from scratch, Fitness 1");
+    println!(
+        "protocol: {} runs x {} generations, population {}, {}\n",
+        protocol.runs, protocol.generations, protocol.population, protocol.topology
+    );
+
+    let parts_list = [2u32, 4, 8];
+    let mut table = TextTable::new(["graph / method", "2 parts", "4 parts", "8 parts"]);
+    for row in TABLE3 {
+        let (base_n, added) =
+            parse_incremental_label(row.label).expect("table3 labels are base+added");
+
+        let mut ga_cells = Vec::new();
+        let mut rsb_cells = Vec::new();
+        for (i, &parts) in parts_list.iter().enumerate() {
+            let (_base, grown, old) = incremental_fixture(base_n, added, parts);
+            let summary = protocol.run_incremental(&grown, &old, FitnessKind::TotalCut);
+            ga_cells.push(vs_paper(summary.best_cut, Some(row.dknux[i])));
+
+            let rsb = rsb_partition(&grown, parts, &RsbOptions::default())
+                .expect("grown graphs are partitionable");
+            let rsb_cut = PartitionMetrics::compute(&grown, &rsb).total_cut;
+            rsb_cells.push(vs_paper(rsb_cut, Some(row.rsb[i])));
+        }
+        table.row([format!("{} — DKNUX (incr)", row.label), ga_cells[0].clone(), ga_cells[1].clone(), ga_cells[2].clone()]);
+        table.row([format!("{} — RSB (scratch)", row.label), rsb_cells[0].clone(), rsb_cells[1].clone(), rsb_cells[2].clone()]);
+    }
+    println!("{}", table.render());
+    println!("(measured values are best-of-{} DPGA runs; paper values in parentheses)", protocol.runs);
+}

@@ -1,0 +1,128 @@
+//! The paper's representation (§3.1): an individual is a vector whose
+//! `i`-th element names the part that node `i` is allocated to.
+
+use gapart_graph::Partition;
+
+/// A candidate solution: `genes[i]` is the part label of node `i`.
+///
+/// Kept deliberately thin — a newtype over `Vec<u32>` with the helpers the
+/// operators need. Fitness is stored alongside in
+/// [`crate::population::Individual`], not here, so chromosomes stay
+/// hashable/comparable by content.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Chromosome {
+    genes: Vec<u32>,
+}
+
+impl Chromosome {
+    /// Wraps a gene vector.
+    pub fn new(genes: Vec<u32>) -> Self {
+        Chromosome { genes }
+    }
+
+    /// From an existing partition.
+    pub fn from_partition(p: &Partition) -> Self {
+        Chromosome {
+            genes: p.labels().to_vec(),
+        }
+    }
+
+    /// Into a validated [`Partition`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any gene is `≥ num_parts` — operators never produce such
+    /// genes, so this indicates an internal bug.
+    pub fn into_partition(self, num_parts: u32) -> Partition {
+        Partition::new(self.genes, num_parts).expect("operators keep genes in range")
+    }
+
+    /// Gene (part label) of node `v`.
+    #[inline]
+    pub fn gene(&self, v: u32) -> u32 {
+        self.genes[v as usize]
+    }
+
+    /// Mutable access for operators.
+    #[inline]
+    pub fn genes_mut(&mut self) -> &mut [u32] {
+        &mut self.genes
+    }
+
+    /// The raw gene slice.
+    #[inline]
+    pub fn genes(&self) -> &[u32] {
+        &self.genes
+    }
+
+    /// Number of genes (nodes).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.genes.len()
+    }
+
+    /// Whether the chromosome is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.genes.is_empty()
+    }
+
+    /// Hamming distance to another chromosome (number of differing genes).
+    /// Useful for diversity diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn hamming(&self, other: &Chromosome) -> usize {
+        assert_eq!(self.len(), other.len(), "chromosome length mismatch");
+        self.genes
+            .iter()
+            .zip(&other.genes)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+}
+
+impl From<Vec<u32>> for Chromosome {
+    fn from(genes: Vec<u32>) -> Self {
+        Chromosome::new(genes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_with_partition() {
+        let p = Partition::round_robin(6, 3);
+        let c = Chromosome::from_partition(&p);
+        assert_eq!(c.genes(), &[0, 1, 2, 0, 1, 2]);
+        let p2 = c.into_partition(3);
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn hamming_counts_differences() {
+        let a = Chromosome::new(vec![0, 0, 1, 1]);
+        let b = Chromosome::new(vec![0, 1, 1, 0]);
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    fn paper_example_strings() {
+        // §3.1: "11100011 represents the mapping that assigns nodes
+        // 1,2,3,7,8 to part 1 and nodes 4,5,6 to part 0" (1-indexed).
+        let c = Chromosome::new(vec![1, 1, 1, 0, 0, 0, 1, 1]);
+        assert_eq!(c.gene(0), 1);
+        assert_eq!(c.gene(3), 0);
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "in range")]
+    fn into_partition_checks_range() {
+        Chromosome::new(vec![0, 5]).into_partition(2);
+    }
+}

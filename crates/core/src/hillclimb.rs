@@ -1,0 +1,286 @@
+//! Boundary-vertex hill climbing (§3.6).
+//!
+//! "Only the 'boundary points' of each part (with neighbors in other
+//! parts) are examined to see if migrating them to the appropriate
+//! neighboring part improves fitness." Implemented on top of the
+//! incremental [`PartitionState`] so each candidate move costs
+//! `O(deg(v) + P)` instead of a full re-evaluation.
+
+use crate::fitness::{FitnessEvaluator, PartitionState};
+
+/// Statistics from a hill-climbing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClimbStats {
+    /// Vertices moved.
+    pub moves: usize,
+    /// Total fitness improvement (≥ 0).
+    pub gain: f64,
+    /// Passes executed before reaching a local optimum (or the cap).
+    pub passes: usize,
+}
+
+/// Hill-climbs `genes` in place: repeatedly sweeps the boundary vertices,
+/// moving each to the *best* strictly-improving neighbouring part, until a
+/// full pass makes no move or `max_passes` is reached. Returns statistics.
+///
+/// Only parts that actually appear among a vertex's neighbours are
+/// candidate destinations ("the appropriate neighboring part"), which both
+/// matches the paper and keeps the sweep `O(boundary × deg)`.
+pub fn hill_climb(
+    evaluator: &FitnessEvaluator<'_>,
+    genes: &mut Vec<u32>,
+    max_passes: usize,
+) -> ClimbStats {
+    let graph = evaluator.graph();
+    let mut state = PartitionState::new(evaluator.clone(), std::mem::take(genes));
+    let mut stats = ClimbStats {
+        moves: 0,
+        gain: 0.0,
+        passes: 0,
+    };
+    let mut candidate_parts: Vec<u32> = Vec::with_capacity(8);
+    for _ in 0..max_passes {
+        stats.passes += 1;
+        let mut moved = false;
+        for v in 0..graph.num_nodes() as u32 {
+            let pv = state.labels()[v as usize];
+            candidate_parts.clear();
+            for &u in graph.neighbors(v) {
+                let pu = state.labels()[u as usize];
+                if pu != pv && !candidate_parts.contains(&pu) {
+                    candidate_parts.push(pu);
+                }
+            }
+            if candidate_parts.is_empty() {
+                continue; // interior vertex
+            }
+            let mut best_gain = 0.0f64;
+            let mut best_part = pv;
+            for &q in &candidate_parts {
+                let g = state.gain(v, q);
+                if g > best_gain + 1e-12 {
+                    best_gain = g;
+                    best_part = q;
+                }
+            }
+            if best_part != pv {
+                state.apply(v, best_part);
+                stats.moves += 1;
+                stats.gain += best_gain;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    *genes = state.into_labels();
+    stats
+}
+
+/// Swap-aware hill climbing: alternates the single-move sweep of
+/// [`hill_climb`] with a *pair-swap* sweep that exchanges two boundary
+/// vertices between parts. Swaps preserve balance exactly, so they escape
+/// the single-move local optima that the squared imbalance term creates
+/// (a lone migration pays an `O(load)` imbalance penalty that usually
+/// outweighs a 1–2 edge cut gain; an exchange pays none).
+///
+/// Cost per pass is `O(B² · (deg + P))` for `B` boundary vertices — fine
+/// for polishing elites, too slow for every offspring.
+pub fn swap_climb(
+    evaluator: &FitnessEvaluator<'_>,
+    genes: &mut Vec<u32>,
+    max_passes: usize,
+) -> ClimbStats {
+    let graph = evaluator.graph();
+    let n = graph.num_nodes() as u32;
+    let mut state = PartitionState::new(evaluator.clone(), std::mem::take(genes));
+    let mut stats = ClimbStats {
+        moves: 0,
+        gain: 0.0,
+        passes: 0,
+    };
+    for _ in 0..max_passes {
+        stats.passes += 1;
+        let mut improved = false;
+
+        // Phase 1: greedy single moves (cheap).
+        for v in 0..n {
+            let pv = state.labels()[v as usize];
+            let mut best_gain = 1e-12;
+            let mut best_part = pv;
+            for &u in graph.neighbors(v) {
+                let q = state.labels()[u as usize];
+                if q != pv {
+                    let g = state.gain(v, q);
+                    if g > best_gain {
+                        best_gain = g;
+                        best_part = q;
+                    }
+                }
+            }
+            if best_part != pv {
+                state.apply(v, best_part);
+                stats.moves += 1;
+                stats.gain += best_gain;
+                improved = true;
+            }
+        }
+
+        // Phase 2: boundary pair swaps. For each boundary vertex v with a
+        // neighbouring part q, tentatively move v → q, then look for the
+        // best counter-move u → p among q's boundary vertices.
+        let boundary: Vec<u32> = (0..n)
+            .filter(|&v| {
+                let pv = state.labels()[v as usize];
+                graph
+                    .neighbors(v)
+                    .iter()
+                    .any(|&u| state.labels()[u as usize] != pv)
+            })
+            .collect();
+        for &v in &boundary {
+            let p = state.labels()[v as usize];
+            let mut cand: Vec<u32> = Vec::with_capacity(4);
+            for &u in graph.neighbors(v) {
+                let q = state.labels()[u as usize];
+                if q != p && !cand.contains(&q) {
+                    cand.push(q);
+                }
+            }
+            for q in cand {
+                // v may have moved in an earlier successful swap; always
+                // work relative to its current part.
+                let cur = state.labels()[v as usize];
+                if cur == q {
+                    continue;
+                }
+                let g1 = state.gain(v, q);
+                state.apply(v, q);
+                // Best counter-move from q back to cur (exclude v itself).
+                let mut best: Option<(u32, f64)> = None;
+                for &u in &boundary {
+                    if u == v || state.labels()[u as usize] != q {
+                        continue;
+                    }
+                    let g2 = state.gain(u, cur);
+                    if best.is_none_or(|(_, bg)| g2 > bg) {
+                        best = Some((u, g2));
+                    }
+                }
+                match best {
+                    Some((u, g2)) if g1 + g2 > 1e-12 => {
+                        state.apply(u, cur);
+                        stats.moves += 2;
+                        stats.gain += g1 + g2;
+                        improved = true;
+                    }
+                    _ => {
+                        state.apply(v, cur); // revert the tentative move
+                    }
+                }
+            }
+        }
+
+        if !improved {
+            break;
+        }
+    }
+    *genes = state.into_labels();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fitness::FitnessKind;
+    use gapart_graph::builder::from_edges;
+    use gapart_graph::generators::paper_graph;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn repairs_a_single_misplaced_vertex() {
+        // Path 0-1-2-3-4-5 with node 1 on the wrong side.
+        let g = from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let e = FitnessEvaluator::new(&g, 2, FitnessKind::TotalCut, 1.0);
+        let mut genes = vec![0u32, 1, 0, 1, 1, 1];
+        let before = e.evaluate(&genes);
+        let stats = hill_climb(&e, &mut genes, 10);
+        let after = e.evaluate(&genes);
+        assert!(after > before);
+        assert!((after - before - stats.gain).abs() < 1e-9);
+        assert_eq!(genes, vec![0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn never_decreases_fitness() {
+        let g = paper_graph(144);
+        let mut rng = StdRng::seed_from_u64(5);
+        for kind in [FitnessKind::TotalCut, FitnessKind::WorstCut] {
+            let e = FitnessEvaluator::new(&g, 4, kind, 1.0);
+            for _ in 0..5 {
+                let mut genes: Vec<u32> = (0..144).map(|_| rng.gen_range(0..4)).collect();
+                let before = e.evaluate(&genes);
+                hill_climb(&e, &mut genes, 8);
+                assert!(e.evaluate(&genes) >= before, "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn reaches_local_optimum() {
+        // After convergence, no single boundary move may improve fitness.
+        let g = paper_graph(98);
+        let e = FitnessEvaluator::new(&g, 4, FitnessKind::TotalCut, 1.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut genes: Vec<u32> = (0..98).map(|_| rng.gen_range(0..4)).collect();
+        hill_climb(&e, &mut genes, 100);
+        let state = crate::fitness::PartitionState::new(e.clone(), genes.clone());
+        for v in 0..98u32 {
+            for q in 0..4u32 {
+                assert!(
+                    state.gain(v, q) <= 1e-9,
+                    "improving move remained: {v} -> {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn improves_random_partitions_substantially() {
+        let g = paper_graph(167);
+        let e = FitnessEvaluator::new(&g, 4, FitnessKind::TotalCut, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut genes: Vec<u32> = (0..167).map(|_| rng.gen_range(0..4)).collect();
+        let before = e.reported_cut(&genes);
+        hill_climb(&e, &mut genes, 30);
+        let after = e.reported_cut(&genes);
+        assert!(
+            after < before / 2,
+            "hill climbing should at least halve a random cut: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn stats_report_passes() {
+        let g = paper_graph(78);
+        let e = FitnessEvaluator::new(&g, 2, FitnessKind::TotalCut, 1.0);
+        // Already-optimal-ish input: single pass, no moves.
+        let mut genes: Vec<u32> = vec![0; 78];
+        let stats = hill_climb(&e, &mut genes, 5);
+        assert_eq!(stats.moves, 0);
+        assert_eq!(stats.passes, 1);
+    }
+
+    #[test]
+    fn zero_passes_is_identity() {
+        let g = paper_graph(78);
+        let e = FitnessEvaluator::new(&g, 4, FitnessKind::TotalCut, 1.0);
+        let mut genes: Vec<u32> = (0..78).map(|v| v % 4).collect();
+        let before = genes.clone();
+        let stats = hill_climb(&e, &mut genes, 0);
+        assert_eq!(genes, before);
+        assert_eq!(stats.moves, 0);
+    }
+}

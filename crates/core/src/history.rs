@@ -1,0 +1,138 @@
+//! Per-generation convergence records.
+//!
+//! The paper's figures plot solution quality against generations,
+//! "obtained by averaging the results of 5 runs"; [`ConvergenceHistory`]
+//! captures one run and [`average_histories`] reproduces the figures'
+//! aggregation.
+
+/// One GA run's per-generation statistics. Index 0 is the initial
+/// population, before any generation has executed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConvergenceHistory {
+    /// Best fitness in the population at each generation.
+    pub best_fitness: Vec<f64>,
+    /// Mean population fitness at each generation.
+    pub mean_fitness: Vec<f64>,
+    /// The paper's reported cut metric (total or worst, per the fitness
+    /// kind) of the best-ever individual at each generation.
+    pub best_cut: Vec<u64>,
+}
+
+impl ConvergenceHistory {
+    /// Creates an empty history with capacity for `generations + 1`
+    /// records.
+    pub fn with_capacity(generations: usize) -> Self {
+        ConvergenceHistory {
+            best_fitness: Vec::with_capacity(generations + 1),
+            mean_fitness: Vec::with_capacity(generations + 1),
+            best_cut: Vec::with_capacity(generations + 1),
+        }
+    }
+
+    /// Appends one generation's record.
+    pub fn push(&mut self, best_fitness: f64, mean_fitness: f64, best_cut: u64) {
+        self.best_fitness.push(best_fitness);
+        self.mean_fitness.push(mean_fitness);
+        self.best_cut.push(best_cut);
+    }
+
+    /// Number of recorded generations (including the initial population).
+    pub fn len(&self) -> usize {
+        self.best_fitness.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.best_fitness.is_empty()
+    }
+
+    /// Generation at which the best cut first reached its final value —
+    /// the convergence speed the paper's "orders of magnitude" claim is
+    /// about.
+    pub fn convergence_generation(&self) -> Option<usize> {
+        let last = *self.best_cut.last()?;
+        self.best_cut.iter().position(|&c| c == last)
+    }
+}
+
+/// Averages several runs' histories point-wise (runs may have different
+/// lengths; the average extends each shorter run with its final value,
+/// matching how converged GA curves are usually plotted).
+///
+/// Returns `(mean_best_cut, mean_best_fitness)` per generation.
+pub fn average_histories(histories: &[ConvergenceHistory]) -> (Vec<f64>, Vec<f64>) {
+    let max_len = histories.iter().map(|h| h.len()).max().unwrap_or(0);
+    let mut cut = vec![0.0f64; max_len];
+    let mut fit = vec![0.0f64; max_len];
+    if histories.is_empty() {
+        return (cut, fit);
+    }
+    for h in histories {
+        for g in 0..max_len {
+            let idx = g.min(h.len().saturating_sub(1));
+            cut[g] += h.best_cut[idx] as f64;
+            fit[g] += h.best_fitness[idx];
+        }
+    }
+    let k = histories.len() as f64;
+    for v in cut.iter_mut() {
+        *v /= k;
+    }
+    for v in fit.iter_mut() {
+        *v /= k;
+    }
+    (cut, fit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history(cuts: &[u64]) -> ConvergenceHistory {
+        let mut h = ConvergenceHistory::default();
+        for (i, &c) in cuts.iter().enumerate() {
+            h.push(-(c as f64), -(c as f64) - 1.0, c);
+            let _ = i;
+        }
+        h
+    }
+
+    #[test]
+    fn push_and_len() {
+        let h = history(&[10, 8, 8, 7]);
+        assert_eq!(h.len(), 4);
+        assert!(!h.is_empty());
+        assert_eq!(h.best_cut, vec![10, 8, 8, 7]);
+    }
+
+    #[test]
+    fn convergence_generation_finds_first_occurrence_of_final_value() {
+        let h = history(&[10, 8, 7, 7, 7]);
+        assert_eq!(h.convergence_generation(), Some(2));
+        let h = history(&[5]);
+        assert_eq!(h.convergence_generation(), Some(0));
+        assert_eq!(ConvergenceHistory::default().convergence_generation(), None);
+    }
+
+    #[test]
+    fn averaging_equal_length_runs() {
+        let runs = vec![history(&[10, 8]), history(&[6, 4])];
+        let (cut, fit) = average_histories(&runs);
+        assert_eq!(cut, vec![8.0, 6.0]);
+        assert_eq!(fit, vec![-8.0, -6.0]);
+    }
+
+    #[test]
+    fn averaging_ragged_runs_extends_with_final_value() {
+        let runs = vec![history(&[10, 8, 6]), history(&[4])];
+        let (cut, _) = average_histories(&runs);
+        // gen0: (10+4)/2, gen1: (8+4)/2, gen2: (6+4)/2
+        assert_eq!(cut, vec![7.0, 6.0, 5.0]);
+    }
+
+    #[test]
+    fn averaging_empty_input() {
+        let (cut, fit) = average_histories(&[]);
+        assert!(cut.is_empty() && fit.is_empty());
+    }
+}

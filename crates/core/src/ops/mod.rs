@@ -1,0 +1,7 @@
+//! Genetic operators: crossover (§3.2–3.3) and mutation.
+
+pub mod crossover;
+pub mod mutation;
+
+pub use crossover::{CrossoverCtx, CrossoverOp};
+pub use mutation::{boundary_mutate, mutate};

@@ -1,0 +1,168 @@
+//! Mutation operators.
+
+use gapart_graph::CsrGraph;
+use rand::Rng;
+
+/// Classic per-gene mutation: with probability `rate`, a gene is
+/// reassigned to a uniformly random *different* part. The paper's
+/// experiments use `rate = 0.01`.
+///
+/// No-op when `num_parts == 1` (there is no different part).
+///
+/// # Panics
+///
+/// Panics if `rate ∉ [0, 1]` or `num_parts == 0`.
+pub fn mutate<R: Rng + ?Sized>(genes: &mut [u32], rate: f64, num_parts: u32, rng: &mut R) {
+    assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+    assert!(num_parts > 0, "num_parts must be positive");
+    if num_parts == 1 || rate == 0.0 {
+        return;
+    }
+    for gene in genes.iter_mut() {
+        if rng.gen::<f64>() < rate {
+            // Sample among the other parts only.
+            let offset = rng.gen_range(1..num_parts);
+            *gene = (*gene + offset) % num_parts;
+        }
+    }
+}
+
+/// Locality-aware mutation (extension): with probability `rate`, a
+/// *boundary* gene is reassigned to the part of one of its cross-boundary
+/// neighbours. Interior genes are untouched, so the operator explores the
+/// space of boundary perturbations the hill climber also works in.
+pub fn boundary_mutate<R: Rng + ?Sized>(
+    genes: &mut [u32],
+    graph: &CsrGraph,
+    rate: f64,
+    rng: &mut R,
+) {
+    assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+    assert_eq!(genes.len(), graph.num_nodes(), "chromosome/graph mismatch");
+    if rate == 0.0 {
+        return;
+    }
+    // Decide every move against the pre-mutation state, then apply, so the
+    // operator's semantics don't depend on node iteration order.
+    let mut moves: Vec<(u32, u32)> = Vec::new();
+    for v in 0..genes.len() as u32 {
+        let pv = genes[v as usize];
+        let nbrs = graph.neighbors(v);
+        // Collect neighbouring foreign parts lazily; skip interior nodes.
+        let mut foreign: Option<u32> = None;
+        let mut count = 0u32;
+        for &u in nbrs {
+            let pu = genes[u as usize];
+            if pu != pv {
+                count += 1;
+                // Reservoir sample one foreign part uniformly.
+                if rng.gen_range(0..count) == 0 {
+                    foreign = Some(pu);
+                }
+            }
+        }
+        if let Some(part) = foreign {
+            if rng.gen::<f64>() < rate {
+                moves.push((v, part));
+            }
+        }
+    }
+    for (v, part) in moves {
+        genes[v as usize] = part;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gapart_graph::builder::from_edges;
+    use gapart_graph::generators::paper_graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let mut genes = vec![0u32, 1, 2, 3];
+        let before = genes.clone();
+        let mut rng = StdRng::seed_from_u64(1);
+        mutate(&mut genes, 0.0, 4, &mut rng);
+        assert_eq!(genes, before);
+    }
+
+    #[test]
+    fn rate_one_changes_every_gene() {
+        let mut genes = vec![0u32; 50];
+        let mut rng = StdRng::seed_from_u64(2);
+        mutate(&mut genes, 1.0, 4, &mut rng);
+        assert!(genes.iter().all(|&g| g != 0), "{genes:?}");
+        assert!(genes.iter().all(|&g| g < 4));
+    }
+
+    #[test]
+    fn single_part_is_noop() {
+        let mut genes = vec![0u32; 10];
+        let mut rng = StdRng::seed_from_u64(3);
+        mutate(&mut genes, 1.0, 1, &mut rng);
+        assert!(genes.iter().all(|&g| g == 0));
+    }
+
+    #[test]
+    fn low_rate_changes_few_genes() {
+        let mut genes = vec![0u32; 10_000];
+        let mut rng = StdRng::seed_from_u64(4);
+        mutate(&mut genes, 0.01, 4, &mut rng);
+        let changed = genes.iter().filter(|&&g| g != 0).count();
+        assert!((50..=200).contains(&changed), "changed = {changed}");
+    }
+
+    #[test]
+    fn genes_stay_in_range() {
+        let mut genes: Vec<u32> = (0..1000).map(|i| i % 7).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        mutate(&mut genes, 0.5, 7, &mut rng);
+        assert!(genes.iter().all(|&g| g < 7));
+    }
+
+    #[test]
+    fn boundary_mutation_never_touches_interior() {
+        // Path 0-1-2-3-4-5, split {0,1,2} | {3,4,5}: only 2 and 3 are
+        // boundary nodes.
+        let g = from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..20 {
+            let mut genes = vec![0u32, 0, 0, 1, 1, 1];
+            boundary_mutate(&mut genes, &g, 1.0, &mut rng);
+            assert_eq!(genes[0], 0);
+            assert_eq!(genes[1], 0);
+            assert_eq!(genes[4], 1);
+            assert_eq!(genes[5], 1);
+        }
+    }
+
+    #[test]
+    fn boundary_mutation_moves_to_neighbouring_part_only() {
+        let g = paper_graph(98);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut genes: Vec<u32> = (0..98).map(|i| i % 4).collect();
+        let before = genes.clone();
+        boundary_mutate(&mut genes, &g, 1.0, &mut rng);
+        for v in 0..98u32 {
+            if genes[v as usize] != before[v as usize] {
+                // The new part must have been a neighbour's old part.
+                let ok = g
+                    .neighbors(v)
+                    .iter()
+                    .any(|&u| before[u as usize] == genes[v as usize]);
+                assert!(ok, "node {v} moved to a non-neighbouring part");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_rate() {
+        let mut genes = vec![0u32];
+        let mut rng = StdRng::seed_from_u64(1);
+        mutate(&mut genes, 1.5, 2, &mut rng);
+    }
+}

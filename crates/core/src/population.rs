@@ -1,0 +1,373 @@
+//! Populations and the initialization strategies of §3.5.
+
+use crate::chromosome::Chromosome;
+use crate::fitness::{EvalScratch, FitnessEvaluator};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A chromosome with its cached fitness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Individual {
+    /// The candidate solution.
+    pub chromosome: Chromosome,
+    /// Cached fitness (higher is better).
+    pub fitness: f64,
+}
+
+/// How the initial population is generated (§3.5: random, or "seeded with
+/// a pre-estimated heuristic solution such as that obtained through an
+/// Index Based Partitioning scheme or the results of recursive spectral
+/// bisection").
+#[derive(Debug, Clone, PartialEq)]
+pub enum InitStrategy {
+    /// Every gene uniform over parts. Maximally diverse, unbalanced.
+    Random,
+    /// Each individual is a random permutation cut into equal blocks —
+    /// perfectly balanced but locality-blind.
+    BalancedRandom,
+    /// Seed with a heuristic partition. The first individual is the exact
+    /// seed; the rest perturb it by reassigning each gene with probability
+    /// `perturbation` (keeps the population near the seed but diverse
+    /// enough for crossover to work with).
+    Seeded {
+        /// The heuristic solution (one label per node).
+        partition: Vec<u32>,
+        /// Per-gene perturbation probability for the non-first
+        /// individuals.
+        perturbation: f64,
+    },
+    /// Seed *and* explore: the first individual is the exact seed, a
+    /// `1 − random_fraction` share are perturbed copies, and the rest are
+    /// balanced-random. Pure `Seeded` populations collapse onto the seed
+    /// (DKNUX is a consensus operator), leaving the GA unable to escape
+    /// the seed's local optimum; the random share restores the diversity
+    /// the search feeds on, while elitism guarantees the result is never
+    /// worse than the seed.
+    SeededPlusRandom {
+        /// The heuristic solution (one label per node).
+        partition: Vec<u32>,
+        /// Per-gene perturbation probability for the perturbed copies.
+        perturbation: f64,
+        /// Fraction of the population drawn balanced-random.
+        random_fraction: f64,
+    },
+}
+
+impl InitStrategy {
+    /// Generates `pop_size` chromosomes of length `n` over `num_parts`
+    /// parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Seeded` partition has the wrong length or out-of-range
+    /// labels (configuration validation happens earlier, in the engine).
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        num_parts: u32,
+        pop_size: usize,
+        rng: &mut R,
+    ) -> Vec<Chromosome> {
+        match self {
+            InitStrategy::Random => (0..pop_size)
+                .map(|_| {
+                    Chromosome::new((0..n).map(|_| rng.gen_range(0..num_parts)).collect())
+                })
+                .collect(),
+            InitStrategy::BalancedRandom => (0..pop_size)
+                .map(|_| {
+                    let mut order: Vec<u32> = (0..n as u32).collect();
+                    order.shuffle(rng);
+                    let mut genes = vec![0u32; n];
+                    let base = n / num_parts as usize;
+                    let extra = n % num_parts as usize;
+                    let mut pos = 0usize;
+                    for part in 0..num_parts {
+                        let take = base + usize::from((part as usize) < extra);
+                        for &v in &order[pos..pos + take] {
+                            genes[v as usize] = part;
+                        }
+                        pos += take;
+                    }
+                    Chromosome::new(genes)
+                })
+                .collect(),
+            InitStrategy::Seeded {
+                partition,
+                perturbation,
+            } => {
+                assert_eq!(partition.len(), n, "seed partition length mismatch");
+                assert!(
+                    partition.iter().all(|&p| p < num_parts),
+                    "seed partition label out of range"
+                );
+                (0..pop_size)
+                    .map(|i| {
+                        let mut genes = partition.clone();
+                        if i > 0 {
+                            crate::ops::mutation::mutate(
+                                &mut genes,
+                                *perturbation,
+                                num_parts,
+                                rng,
+                            );
+                        }
+                        Chromosome::new(genes)
+                    })
+                    .collect()
+            }
+            InitStrategy::SeededPlusRandom {
+                partition,
+                perturbation,
+                random_fraction,
+            } => {
+                assert!(
+                    (0.0..=1.0).contains(random_fraction),
+                    "random_fraction must be a probability"
+                );
+                let random_count =
+                    ((pop_size as f64 * random_fraction).round() as usize).min(pop_size - 1);
+                let seeded_count = pop_size - random_count;
+                let mut out = InitStrategy::Seeded {
+                    partition: partition.clone(),
+                    perturbation: *perturbation,
+                }
+                .generate(n, num_parts, seeded_count, rng);
+                out.extend(InitStrategy::BalancedRandom.generate(
+                    n,
+                    num_parts,
+                    random_count,
+                    rng,
+                ));
+                out
+            }
+        }
+    }
+}
+
+/// A population of evaluated individuals.
+#[derive(Debug, Clone)]
+pub struct Population {
+    /// The individuals, in no particular order.
+    pub individuals: Vec<Individual>,
+}
+
+impl Population {
+    /// Evaluates `chromosomes` and wraps them into a population.
+    pub fn evaluate(chromosomes: Vec<Chromosome>, evaluator: &FitnessEvaluator<'_>) -> Self {
+        let mut scratch = EvalScratch::default();
+        let individuals = chromosomes
+            .into_iter()
+            .map(|c| {
+                let fitness = evaluator.evaluate_with(c.genes(), &mut scratch);
+                Individual {
+                    chromosome: c,
+                    fitness,
+                }
+            })
+            .collect();
+        Population { individuals }
+    }
+
+    /// Number of individuals.
+    pub fn len(&self) -> usize {
+        self.individuals.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.individuals.is_empty()
+    }
+
+    /// Index of the fittest individual (first among ties).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty population.
+    pub fn best_index(&self) -> usize {
+        assert!(!self.is_empty(), "empty population has no best");
+        let mut best = 0usize;
+        for (i, ind) in self.individuals.iter().enumerate().skip(1) {
+            if ind.fitness > self.individuals[best].fitness {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// The fittest individual.
+    pub fn best(&self) -> &Individual {
+        &self.individuals[self.best_index()]
+    }
+
+    /// Index of the least-fit individual (first among ties).
+    pub fn worst_index(&self) -> usize {
+        assert!(!self.is_empty(), "empty population has no worst");
+        let mut worst = 0usize;
+        for (i, ind) in self.individuals.iter().enumerate().skip(1) {
+            if ind.fitness < self.individuals[worst].fitness {
+                worst = i;
+            }
+        }
+        worst
+    }
+
+    /// Mean fitness.
+    pub fn mean_fitness(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.individuals.iter().map(|i| i.fitness).sum::<f64>() / self.len() as f64
+    }
+
+    /// Fitness values in population order (for the selection schemes).
+    pub fn fitness_values(&self) -> Vec<f64> {
+        self.individuals.iter().map(|i| i.fitness).collect()
+    }
+
+    /// Indices of the `k` fittest individuals, fittest first.
+    pub fn top_k(&self, k: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.individuals[b]
+                .fitness
+                .partial_cmp(&self.individuals[a].fitness)
+                .expect("finite fitness")
+        });
+        order.truncate(k);
+        order
+    }
+
+    /// Replaces the `k` worst individuals with `incoming` (used by DPGA
+    /// migration: "copies of its best individuals" arrive from
+    /// neighbours). Extra incoming individuals beyond the population size
+    /// are ignored.
+    pub fn replace_worst(&mut self, incoming: Vec<Individual>) {
+        let k = incoming.len().min(self.len());
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.individuals[a]
+                .fitness
+                .partial_cmp(&self.individuals[b].fitness)
+                .expect("finite fitness")
+        });
+        for (slot, ind) in order.into_iter().zip(incoming.into_iter().take(k)) {
+            self.individuals[slot] = ind;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fitness::FitnessKind;
+    use gapart_graph::generators::paper_graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_init_covers_all_parts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let chroms = InitStrategy::Random.generate(200, 4, 3, &mut rng);
+        assert_eq!(chroms.len(), 3);
+        for c in &chroms {
+            assert!(c.genes().iter().all(|&g| g < 4));
+            for part in 0..4u32 {
+                assert!(c.genes().contains(&part), "part {part} missing");
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_random_is_balanced() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let chroms = InitStrategy::BalancedRandom.generate(103, 4, 5, &mut rng);
+        for c in &chroms {
+            let mut counts = [0usize; 4];
+            for &g in c.genes() {
+                counts[g as usize] += 1;
+            }
+            let min = counts.iter().min().unwrap();
+            let max = counts.iter().max().unwrap();
+            assert!(max - min <= 1, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn seeded_keeps_exact_first_individual() {
+        let seed: Vec<u32> = (0..50).map(|i| i % 3).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let chroms = InitStrategy::Seeded {
+            partition: seed.clone(),
+            perturbation: 0.2,
+        }
+        .generate(50, 3, 10, &mut rng);
+        assert_eq!(chroms[0].genes(), &seed[..]);
+        // Later individuals perturbed but close.
+        let distant = chroms[1..]
+            .iter()
+            .filter(|c| c.genes() == &seed[..])
+            .count();
+        assert!(distant < 9, "perturbation did nothing");
+        for c in &chroms[1..] {
+            let hamming = c.hamming(&Chromosome::new(seed.clone()));
+            assert!(hamming <= 25, "perturbed too far: {hamming}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn seeded_rejects_wrong_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        InitStrategy::Seeded {
+            partition: vec![0; 3],
+            perturbation: 0.1,
+        }
+        .generate(5, 2, 2, &mut rng);
+    }
+
+    #[test]
+    fn population_best_worst_mean() {
+        let g = paper_graph(78);
+        let e = FitnessEvaluator::new(&g, 2, FitnessKind::TotalCut, 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let chroms = InitStrategy::BalancedRandom.generate(78, 2, 20, &mut rng);
+        let pop = Population::evaluate(chroms, &e);
+        let best = pop.best().fitness;
+        let worst = pop.individuals[pop.worst_index()].fitness;
+        let mean = pop.mean_fitness();
+        assert!(best >= mean && mean >= worst);
+        assert_eq!(pop.fitness_values().len(), 20);
+    }
+
+    #[test]
+    fn top_k_is_sorted_descending() {
+        let g = paper_graph(78);
+        let e = FitnessEvaluator::new(&g, 2, FitnessKind::TotalCut, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let chroms = InitStrategy::Random.generate(78, 2, 30, &mut rng);
+        let pop = Population::evaluate(chroms, &e);
+        let top = pop.top_k(5);
+        assert_eq!(top.len(), 5);
+        for w in top.windows(2) {
+            assert!(pop.individuals[w[0]].fitness >= pop.individuals[w[1]].fitness);
+        }
+        assert_eq!(top[0], pop.best_index());
+    }
+
+    #[test]
+    fn replace_worst_upgrades_population() {
+        let g = paper_graph(78);
+        let e = FitnessEvaluator::new(&g, 2, FitnessKind::TotalCut, 1.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let chroms = InitStrategy::Random.generate(78, 2, 10, &mut rng);
+        let mut pop = Population::evaluate(chroms, &e);
+        let old_worst = pop.individuals[pop.worst_index()].fitness;
+        // Migrate in two copies of the best.
+        let best = pop.best().clone();
+        pop.replace_worst(vec![best.clone(), best]);
+        let new_worst = pop.individuals[pop.worst_index()].fitness;
+        assert!(new_worst >= old_worst);
+        assert_eq!(pop.len(), 10);
+    }
+}

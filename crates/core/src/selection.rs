@@ -1,0 +1,193 @@
+//! Parent selection schemes.
+//!
+//! The paper does not pin down its selection mechanism, so the engine
+//! supports the standard three; binary tournament is the default (robust
+//! to the negative fitness values our cost-based objectives produce).
+
+use rand::Rng;
+
+/// Parent-selection strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionScheme {
+    /// Size-`k` tournament: sample `k` individuals uniformly, keep the
+    /// fittest. Invariant under fitness translation, so it handles the
+    /// negative fitness values natively.
+    Tournament(u32),
+    /// Classic roulette wheel on *windowed* fitness (shifted so the worst
+    /// individual has weight ~0; raw negative values cannot be sampled
+    /// proportionally).
+    RouletteWheel,
+    /// Linear rank selection: probability proportional to rank, best
+    /// ranked highest.
+    Rank,
+}
+
+impl Default for SelectionScheme {
+    fn default() -> Self {
+        SelectionScheme::Tournament(2)
+    }
+}
+
+impl std::fmt::Display for SelectionScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelectionScheme::Tournament(k) => write!(f, "tournament({k})"),
+            SelectionScheme::RouletteWheel => write!(f, "roulette"),
+            SelectionScheme::Rank => write!(f, "rank"),
+        }
+    }
+}
+
+impl SelectionScheme {
+    /// Selects one parent index given each individual's fitness.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty fitness slice, a tournament size of 0, or
+    /// non-finite fitness values.
+    pub fn select<R: Rng + ?Sized>(&self, fitness: &[f64], rng: &mut R) -> usize {
+        assert!(!fitness.is_empty(), "cannot select from empty population");
+        debug_assert!(fitness.iter().all(|f| f.is_finite()));
+        match self {
+            SelectionScheme::Tournament(k) => {
+                assert!(*k > 0, "tournament size must be positive");
+                let mut best = rng.gen_range(0..fitness.len());
+                for _ in 1..*k {
+                    let challenger = rng.gen_range(0..fitness.len());
+                    if fitness[challenger] > fitness[best] {
+                        best = challenger;
+                    }
+                }
+                best
+            }
+            SelectionScheme::RouletteWheel => {
+                let worst = fitness.iter().copied().fold(f64::INFINITY, f64::min);
+                let best = fitness.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                // Window: weight = f − worst + ε·range, so the worst
+                // individual keeps a sliver of probability.
+                let range = (best - worst).max(1e-12);
+                let eps = 0.01 * range;
+                let total: f64 = fitness.iter().map(|f| f - worst + eps).sum();
+                let mut ball = rng.gen_range(0.0..total);
+                for (i, f) in fitness.iter().enumerate() {
+                    ball -= f - worst + eps;
+                    if ball <= 0.0 {
+                        return i;
+                    }
+                }
+                fitness.len() - 1
+            }
+            SelectionScheme::Rank => {
+                let n = fitness.len();
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by(|&a, &b| {
+                    fitness[a]
+                        .partial_cmp(&fitness[b])
+                        .expect("finite fitness")
+                });
+                // Rank weights 1..=n (worst..best); total n(n+1)/2.
+                let total = n * (n + 1) / 2;
+                let mut ball = rng.gen_range(0..total) as i64;
+                for (rank0, &idx) in order.iter().enumerate() {
+                    ball -= (rank0 + 1) as i64;
+                    if ball < 0 {
+                        return idx;
+                    }
+                }
+                order[n - 1]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frequencies(scheme: SelectionScheme, fitness: &[f64], trials: usize) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0usize; fitness.len()];
+        for _ in 0..trials {
+            counts[scheme.select(fitness, &mut rng)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn tournament_prefers_fitter() {
+        let fitness = vec![-10.0, -1.0, -5.0];
+        let counts = frequencies(SelectionScheme::Tournament(2), &fitness, 30_000);
+        assert!(counts[1] > counts[2], "{counts:?}");
+        assert!(counts[2] > counts[0], "{counts:?}");
+        // Binary tournament: best selected with prob 1 - (2/3)^2·... ≈
+        // expected counts ratio 5:3:1 among 3 individuals.
+        let total: usize = counts.iter().sum();
+        assert_eq!(total, 30_000);
+    }
+
+    #[test]
+    fn tournament_size_one_is_uniform() {
+        let fitness = vec![-10.0, -1.0];
+        let counts = frequencies(SelectionScheme::Tournament(1), &fitness, 20_000);
+        assert!((counts[0] as i64 - counts[1] as i64).abs() < 1500, "{counts:?}");
+    }
+
+    #[test]
+    fn large_tournament_is_nearly_elitist() {
+        let fitness = vec![-3.0, -1.0, -2.0, -9.0];
+        let counts = frequencies(SelectionScheme::Tournament(16), &fitness, 5_000);
+        assert!(counts[1] as f64 / 5_000.0 > 0.9, "{counts:?}");
+    }
+
+    #[test]
+    fn roulette_handles_negative_fitness() {
+        let fitness = vec![-100.0, -50.0, -10.0];
+        let counts = frequencies(SelectionScheme::RouletteWheel, &fitness, 30_000);
+        assert!(counts[2] > counts[1], "{counts:?}");
+        assert!(counts[1] > counts[0], "{counts:?}");
+        // The worst individual must still be selectable.
+        assert!(counts[0] > 0);
+    }
+
+    #[test]
+    fn roulette_uniform_when_equal() {
+        let fitness = vec![-5.0; 4];
+        let counts = frequencies(SelectionScheme::RouletteWheel, &fitness, 40_000);
+        for &c in &counts {
+            assert!((8_000..=12_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn rank_ignores_fitness_magnitudes() {
+        // Outlier magnitudes shouldn't distort rank selection: with ranks
+        // 1..=3, probabilities are 1/6, 2/6, 3/6 regardless of values.
+        let fitness = vec![-1e9, -2.0, -1.0];
+        let counts = frequencies(SelectionScheme::Rank, &fitness, 60_000);
+        let p: Vec<f64> = counts.iter().map(|&c| c as f64 / 60_000.0).collect();
+        assert!((p[0] - 1.0 / 6.0).abs() < 0.02, "{p:?}");
+        assert!((p[1] - 2.0 / 6.0).abs() < 0.02, "{p:?}");
+        assert!((p[2] - 3.0 / 6.0).abs() < 0.02, "{p:?}");
+    }
+
+    #[test]
+    fn single_individual_always_selected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for scheme in [
+            SelectionScheme::Tournament(2),
+            SelectionScheme::RouletteWheel,
+            SelectionScheme::Rank,
+        ] {
+            assert_eq!(scheme.select(&[-1.0], &mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn empty_population_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        SelectionScheme::default().select(&[], &mut rng);
+    }
+}

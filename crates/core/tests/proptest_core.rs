@@ -1,0 +1,213 @@
+//! Property-based tests for the GA core.
+
+use gapart_core::chromosome::Chromosome;
+use gapart_core::fitness::{FitnessEvaluator, FitnessKind, PartitionState};
+use gapart_core::hillclimb::{hill_climb, swap_climb};
+use gapart_core::ops::crossover::{knux_bias, CrossoverCtx, CrossoverOp};
+use gapart_core::ops::mutation::{boundary_mutate, mutate};
+use gapart_core::selection::SelectionScheme;
+use gapart_core::{GaConfig, GaEngine};
+use gapart_graph::generators::jittered_mesh;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn arb_genes(n: usize, parts: u32, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..parts)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Incremental gain prediction equals the actual fitness delta for
+    /// arbitrary graphs, objectives, λ, and move sequences.
+    #[test]
+    fn partition_state_gain_exactness(
+        n in 6usize..80,
+        parts in 2u32..7,
+        seed in any::<u64>(),
+        lambda in 0.25f64..3.0,
+        kind_idx in 0usize..2,
+        moves in proptest::collection::vec((any::<u32>(), any::<u32>()), 1..60),
+    ) {
+        let kind = [FitnessKind::TotalCut, FitnessKind::WorstCut][kind_idx];
+        let g = jittered_mesh(n, seed);
+        let e = FitnessEvaluator::new(&g, parts, kind, lambda);
+        let genes = arb_genes(n, parts, seed ^ 3);
+        let mut state = PartitionState::new(e.clone(), genes);
+        for (rv, rp) in moves {
+            let v = rv % n as u32;
+            let to = rp % parts;
+            let before = state.fitness();
+            let predicted = state.gain(v, to);
+            state.apply(v, to);
+            let after = state.fitness();
+            prop_assert!((after - before - predicted).abs() < 1e-6);
+        }
+        // Final state agrees with a from-scratch evaluation.
+        prop_assert!((state.fitness() - e.evaluate(state.labels())).abs() < 1e-6);
+    }
+
+    /// Hill climbing and swap climbing never decrease fitness and always
+    /// keep genes in range.
+    #[test]
+    fn climbers_are_monotone(
+        n in 6usize..100,
+        parts in 2u32..6,
+        seed in any::<u64>(),
+        kind_idx in 0usize..2,
+    ) {
+        let kind = [FitnessKind::TotalCut, FitnessKind::WorstCut][kind_idx];
+        let g = jittered_mesh(n, seed);
+        let e = FitnessEvaluator::new(&g, parts, kind, 1.0);
+        type Climber = fn(&FitnessEvaluator<'_>, &mut Vec<u32>, usize) -> gapart_core::hillclimb::ClimbStats;
+        for (name, f) in [
+            ("hill", hill_climb as Climber),
+            ("swap", swap_climb as Climber),
+        ] {
+            let mut genes = arb_genes(n, parts, seed ^ 5);
+            let before = e.evaluate(&genes);
+            let stats = f(&e, &mut genes, 10);
+            let after = e.evaluate(&genes);
+            prop_assert!(after >= before - 1e-9, "{name} decreased fitness");
+            prop_assert!((after - before - stats.gain).abs() < 1e-6,
+                "{name} misreported its gain");
+            prop_assert!(genes.iter().all(|&x| x < parts));
+        }
+    }
+
+    /// Mutation changes at most the expected number of genes and keeps
+    /// labels in range.
+    #[test]
+    fn mutation_in_range(
+        n in 1usize..200,
+        parts in 1u32..8,
+        rate in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut genes = arb_genes(n, parts, seed);
+        let before = genes.clone();
+        mutate(&mut genes, rate, parts, &mut rng);
+        prop_assert!(genes.iter().all(|&g| g < parts));
+        if rate == 0.0 || parts == 1 {
+            prop_assert_eq!(genes, before);
+        }
+    }
+
+    /// Boundary mutation only ever moves nodes to parts adjacent to them
+    /// (computed against the pre-mutation state).
+    #[test]
+    fn boundary_mutation_moves_are_local(
+        n in 4usize..120,
+        parts in 2u32..6,
+        rate in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let g = jittered_mesh(n, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 7);
+        let mut genes = arb_genes(n, parts, seed ^ 9);
+        let before = genes.clone();
+        boundary_mutate(&mut genes, &g, rate, &mut rng);
+        for v in 0..n as u32 {
+            if genes[v as usize] != before[v as usize] {
+                prop_assert!(g.neighbors(v).iter().any(|&u| before[u as usize] == genes[v as usize]));
+            }
+        }
+    }
+
+    /// Selection always returns a valid index, for every scheme and any
+    /// finite fitness landscape.
+    #[test]
+    fn selection_index_valid(
+        fitness in proptest::collection::vec(-1e7f64..0.0, 1..50),
+        seed in any::<u64>(),
+        scheme_idx in 0usize..3,
+    ) {
+        let scheme = [
+            SelectionScheme::Tournament(3),
+            SelectionScheme::RouletteWheel,
+            SelectionScheme::Rank,
+        ][scheme_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let idx = scheme.select(&fitness, &mut rng);
+            prop_assert!(idx < fitness.len());
+        }
+    }
+
+    /// The KNUX bias is a probability and is symmetric in its arguments:
+    /// p(a, b) + p(b, a) = 1 whenever some neighbour supports either side.
+    #[test]
+    fn knux_bias_is_probability(
+        n in 4usize..80,
+        parts in 2u32..6,
+        seed in any::<u64>(),
+    ) {
+        let g = jittered_mesh(n, seed);
+        let reference = arb_genes(n, parts, seed ^ 11);
+        let mut rng = StdRng::seed_from_u64(seed ^ 13);
+        for _ in 0..30 {
+            let i = rng.gen_range(0..n as u32);
+            let a = rng.gen_range(0..parts);
+            let b = rng.gen_range(0..parts);
+            let p_ab = knux_bias(&g, &reference, i, a, b);
+            let p_ba = knux_bias(&g, &reference, i, b, a);
+            prop_assert!((0.0..=1.0).contains(&p_ab));
+            prop_assert!((p_ab + p_ba - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Engine runs are deterministic and never lose in-range genes, for
+    /// arbitrary small configurations.
+    #[test]
+    fn engine_determinism_and_validity(
+        n in 8usize..60,
+        parts in 2u32..5,
+        pop in 4usize..24,
+        gens in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let g = jittered_mesh(n, seed);
+        let make = || {
+            GaConfig::paper_defaults(parts)
+                .with_population_size(pop)
+                .with_generations(gens)
+                .with_seed(seed ^ 15)
+        };
+        let a = GaEngine::new(&g, make()).unwrap().run();
+        let b = GaEngine::new(&g, make()).unwrap().run();
+        prop_assert_eq!(&a.best_partition, &b.best_partition);
+        prop_assert_eq!(&a.history, &b.history);
+        prop_assert_eq!(a.best_partition.num_nodes(), n);
+        prop_assert!(a.best_partition.labels().iter().all(|&l| l < parts));
+        // History is monotone in best fitness.
+        prop_assert!(a.history.best_fitness.windows(2).all(|w| w[1] >= w[0] - 1e-12));
+    }
+
+    /// Crossover output lengths and gene conservation hold for arbitrary
+    /// parent pairs (complementarity checked per locus).
+    #[test]
+    fn crossover_conserves_loci(
+        n in 2usize..100,
+        parts in 2u32..6,
+        seed in any::<u64>(),
+        op_idx in 0usize..7,
+    ) {
+        let g = jittered_mesh(n, seed);
+        let a = arb_genes(n, parts, seed ^ 17);
+        let b = arb_genes(n, parts, seed ^ 19);
+        let reference = arb_genes(n, parts, seed ^ 21);
+        let op = CrossoverOp::ALL[op_idx];
+        let ctx = CrossoverCtx::with_reference(&g, &reference);
+        let mut rng = StdRng::seed_from_u64(seed ^ 23);
+        let (c1, c2) = op.apply(&a, &b, &ctx, &mut rng);
+        let (ca, cb) = (Chromosome::new(c1), Chromosome::new(c2));
+        prop_assert_eq!(ca.len(), n);
+        for i in 0..n as u32 {
+            let pair = (ca.gene(i), cb.gene(i));
+            prop_assert!(pair == (a[i as usize], b[i as usize]) || pair == (b[i as usize], a[i as usize]));
+        }
+    }
+}

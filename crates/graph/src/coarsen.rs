@@ -1,0 +1,275 @@
+//! Heavy-edge-matching graph contraction.
+//!
+//! The paper recommends "a prior graph contraction step" before applying
+//! the GA to very large graphs, and its RSB reference \[13\] (Barnard &
+//! Simon) is a multilevel method. This module provides the standard
+//! heavy-edge-matching (HEM) coarsening used by both: match each unmatched
+//! vertex to the unmatched neighbour behind the heaviest edge, merge
+//! matched pairs, and sum node/edge weights so a partition of the coarse
+//! graph has exactly the same cost on the fine graph.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::partition::Partition;
+use crate::geometry::Point2;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One coarsening level: the coarse graph plus the fine→coarse vertex map.
+#[derive(Debug, Clone)]
+pub struct Coarsening {
+    /// The contracted graph. Node weights are the sums of the merged fine
+    /// nodes; edge weights are the sums of the fine edges they represent.
+    pub coarse: CsrGraph,
+    /// `map[v]` is the coarse vertex that fine vertex `v` merged into.
+    pub map: Vec<u32>,
+}
+
+impl Coarsening {
+    /// Lifts a partition of the coarse graph back to the fine graph: fine
+    /// vertex `v` gets the part of `map[v]`.
+    pub fn project(&self, coarse_partition: &Partition) -> Partition {
+        assert_eq!(
+            coarse_partition.num_nodes(),
+            self.coarse.num_nodes(),
+            "partition does not match coarse graph"
+        );
+        let labels = self
+            .map
+            .iter()
+            .map(|&cv| coarse_partition.part(cv))
+            .collect();
+        Partition::new(labels, coarse_partition.num_parts())
+            .expect("projected labels are in range")
+    }
+}
+
+/// One round of heavy-edge matching. Visits vertices in a seeded random
+/// order; each unmatched vertex merges with its unmatched neighbour of
+/// maximum edge weight (ties broken by lower id), or stays singleton.
+///
+/// The coarse graph is never larger than the fine one and is strictly
+/// smaller whenever any edge has both endpoints unmatched at visit time.
+pub fn coarsen_hem(graph: &CsrGraph, seed: u64) -> Coarsening {
+    let n = graph.num_nodes();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6865_6d00); // "hem"
+    order.shuffle(&mut rng);
+
+    const UNMATCHED: u32 = u32::MAX;
+    let mut mate = vec![UNMATCHED; n];
+    for &v in &order {
+        if mate[v as usize] != UNMATCHED {
+            continue;
+        }
+        let mut best: Option<(u32, u32)> = None; // (weight, neighbour)
+        for (&u, &w) in graph.neighbors(v).iter().zip(graph.edge_weights(v)) {
+            if mate[u as usize] == UNMATCHED {
+                let better = match best {
+                    None => true,
+                    Some((bw, bu)) => w > bw || (w == bw && u < bu),
+                };
+                if better {
+                    best = Some((w, u));
+                }
+            }
+        }
+        match best {
+            Some((_, u)) => {
+                mate[v as usize] = u;
+                mate[u as usize] = v;
+            }
+            None => mate[v as usize] = v, // singleton
+        }
+    }
+
+    // Assign coarse ids: the lower endpoint of each pair owns the id.
+    let mut map = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for v in 0..n as u32 {
+        if map[v as usize] != u32::MAX {
+            continue;
+        }
+        let m = mate[v as usize];
+        map[v as usize] = next;
+        if m != v {
+            map[m as usize] = next;
+        }
+        next += 1;
+    }
+    let n_coarse = next as usize;
+
+    // Coarse node weights and centroid coordinates.
+    let mut vweights = vec![0u32; n_coarse];
+    for v in 0..n {
+        vweights[map[v] as usize] =
+            vweights[map[v] as usize].saturating_add(graph.node_weight(v as u32));
+    }
+    let coords = graph.coords().map(|fine| {
+        let mut sums = vec![(0.0f64, 0.0f64, 0.0f64); n_coarse];
+        for (v, p) in fine.iter().enumerate() {
+            let wv = graph.node_weight(v as u32) as f64;
+            let s = &mut sums[map[v] as usize];
+            s.0 += p.x * wv;
+            s.1 += p.y * wv;
+            s.2 += wv;
+        }
+        sums.into_iter()
+            .map(|(sx, sy, sw)| Point2::new(sx / sw, sy / sw))
+            .collect::<Vec<_>>()
+    });
+
+    // Coarse edges: builder merges duplicates by summing weights, which is
+    // exactly the contraction semantics we need.
+    let mut b = GraphBuilder::with_nodes(n_coarse);
+    for (u, v, w) in graph.edges() {
+        let (cu, cv) = (map[u as usize], map[v as usize]);
+        if cu != cv {
+            b.push_edge(cu, cv, w);
+        }
+    }
+    b = b.node_weights(vweights);
+    if let Some(c) = coords {
+        b = b.coords(c);
+    }
+    let coarse = b.build().expect("contraction preserves validity");
+    Coarsening { coarse, map }
+}
+
+/// Coarsens repeatedly until the graph has at most `target_nodes` nodes or
+/// a round fails to shrink it by at least 5%. Returns the levels from
+/// finest to coarsest (empty if the graph is already small enough).
+pub fn coarsen_to(graph: &CsrGraph, target_nodes: usize, seed: u64) -> Vec<Coarsening> {
+    assert!(target_nodes > 0, "target must be positive");
+    let mut levels: Vec<Coarsening> = Vec::new();
+    let mut current = graph.clone();
+    let mut round = 0u64;
+    while current.num_nodes() > target_nodes {
+        let level = coarsen_hem(&current, seed.wrapping_add(round));
+        let before = current.num_nodes();
+        let after = level.coarse.num_nodes();
+        if after as f64 > before as f64 * 0.95 {
+            break; // diminishing returns (e.g. star graphs)
+        }
+        current = level.coarse.clone();
+        levels.push(level);
+        round += 1;
+    }
+    levels
+}
+
+/// Projects a partition of the coarsest level of `levels` all the way back
+/// to the original fine graph.
+pub fn project_through(levels: &[Coarsening], coarsest: &Partition) -> Partition {
+    let mut p = coarsest.clone();
+    for level in levels.iter().rev() {
+        p = level.project(&p);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::generators::{paper_graph, ring_lattice};
+    use crate::partition::{cut_size, PartitionMetrics};
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn coarsening_halves_a_matching_friendly_graph() {
+        let g = ring_lattice(16, 1);
+        let c = coarsen_hem(&g, 1);
+        assert!(c.coarse.num_nodes() <= 12, "got {}", c.coarse.num_nodes());
+        assert!(c.coarse.num_nodes() >= 8);
+    }
+
+    #[test]
+    fn node_weight_is_conserved() {
+        let g = paper_graph(144);
+        let c = coarsen_hem(&g, 3);
+        assert_eq!(c.coarse.total_node_weight(), g.total_node_weight());
+    }
+
+    #[test]
+    fn connectivity_is_preserved() {
+        let g = paper_graph(167);
+        let c = coarsen_hem(&g, 5);
+        assert!(is_connected(&c.coarse));
+    }
+
+    #[test]
+    fn projected_partition_cost_matches_coarse_cost() {
+        // Key invariant: summed weights mean a coarse partition's cut and
+        // loads equal the projected fine partition's cut and loads.
+        let g = paper_graph(139);
+        let c = coarsen_hem(&g, 9);
+        let coarse_p = Partition::round_robin(c.coarse.num_nodes(), 4);
+        let fine_p = c.project(&coarse_p);
+        let mc = PartitionMetrics::compute(&c.coarse, &coarse_p);
+        let mf = PartitionMetrics::compute(&g, &fine_p);
+        assert_eq!(mc.total_cut, mf.total_cut);
+        assert_eq!(mc.part_loads, mf.part_loads);
+    }
+
+    #[test]
+    fn map_covers_every_fine_vertex() {
+        let g = paper_graph(98);
+        let c = coarsen_hem(&g, 2);
+        assert_eq!(c.map.len(), 98);
+        let max = *c.map.iter().max().unwrap() as usize;
+        assert_eq!(max + 1, c.coarse.num_nodes());
+        // Each coarse vertex has 1 or 2 fine preimages under one HEM round.
+        let mut counts = vec![0; c.coarse.num_nodes()];
+        for &cv in &c.map {
+            counts[cv as usize] += 1;
+        }
+        assert!(counts.iter().all(|&k| k == 1 || k == 2));
+    }
+
+    #[test]
+    fn coarsen_to_reaches_target() {
+        let g = paper_graph(309);
+        let levels = coarsen_to(&g, 40, 7);
+        assert!(!levels.is_empty());
+        let coarsest = &levels.last().unwrap().coarse;
+        assert!(coarsest.num_nodes() <= 40 || levels.len() > 6);
+        // Weight conserved through all levels.
+        assert_eq!(coarsest.total_node_weight(), g.total_node_weight());
+    }
+
+    #[test]
+    fn project_through_round_trips_costs() {
+        let g = paper_graph(213);
+        let levels = coarsen_to(&g, 30, 1);
+        let coarsest = &levels.last().unwrap().coarse;
+        let cp = Partition::blocks(coarsest.num_nodes(), 2);
+        let fp = project_through(&levels, &cp);
+        assert_eq!(fp.num_nodes(), 213);
+        assert_eq!(
+            cut_size(coarsest, &cp),
+            cut_size(&g, &fp),
+            "cut not preserved by projection"
+        );
+    }
+
+    #[test]
+    fn coarsen_star_terminates() {
+        // A star can only shrink by one pair per round; coarsen_to must not
+        // loop forever.
+        let edges: Vec<(u32, u32)> = (1..50u32).map(|v| (0, v)).collect();
+        let g = from_edges(50, &edges).unwrap();
+        let levels = coarsen_to(&g, 2, 0);
+        assert!(levels.len() < 60);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = paper_graph(88);
+        let a = coarsen_hem(&g, 4);
+        let b = coarsen_hem(&g, 4);
+        assert_eq!(a.coarse, b.coarse);
+        assert_eq!(a.map, b.map);
+    }
+}

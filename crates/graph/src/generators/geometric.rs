@@ -1,0 +1,148 @@
+//! Random geometric graphs (unit-square disk graphs).
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::geometry::Point2;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random geometric graph: `n` points uniform in the unit square,
+/// an edge between every pair closer than `radius`, then — if the disk
+/// graph is disconnected — the minimal set of shortest inter-component
+/// links needed to connect it (so the result is always connected and still
+/// locality-dominated).
+///
+/// Deterministic in `(n, radius, seed)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `radius <= 0`.
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> CsrGraph {
+    assert!(n > 0, "graph must have at least one node");
+    assert!(radius > 0.0, "radius must be positive");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6765_6f6d); // "geom"
+    let pts: Vec<Point2> = (0..n)
+        .map(|_| Point2::new(rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+
+    let r2 = radius * radius;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    // Simple uniform-grid spatial hash keeps this O(n) for sane radii.
+    let cell = radius.max(1e-9);
+    let buckets_per_side = (1.0 / cell).ceil() as i64 + 1;
+    let key = |p: &Point2| ((p.x / cell) as i64, (p.y / cell) as i64);
+    let mut grid: std::collections::HashMap<(i64, i64), Vec<u32>> =
+        std::collections::HashMap::new();
+    for (i, p) in pts.iter().enumerate() {
+        grid.entry(key(p)).or_default().push(i as u32);
+    }
+    let _ = buckets_per_side;
+    for (i, p) in pts.iter().enumerate() {
+        let (kx, ky) = key(p);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(cands) = grid.get(&(kx + dx, ky + dy)) {
+                    for &j in cands {
+                        if (j as usize) > i && pts[j as usize].dist2(p) <= r2 {
+                            edges.push((i as u32, j));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let g = GraphBuilder::with_nodes(n)
+        .edges(edges.iter().copied())
+        .coords(pts.clone())
+        .build()
+        .expect("geometric generator emits valid edges");
+
+    let (comp, count) = crate::traversal::connected_components(&g);
+    if count == 1 {
+        return g;
+    }
+
+    // Connect components by repeatedly linking the globally closest pair of
+    // nodes in different components (greedy; components are few in practice).
+    let mut extra: Vec<(u32, u32)> = Vec::new();
+    let mut comp = comp;
+    let mut remaining = count;
+    while remaining > 1 {
+        let mut best: Option<(f64, u32, u32)> = None;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if comp[i] != comp[j] {
+                    let d = pts[i].dist2(&pts[j]);
+                    if best.is_none_or(|(bd, _, _)| d < bd) {
+                        best = Some((d, i as u32, j as u32));
+                    }
+                }
+            }
+        }
+        let (_, a, bnode) = best.expect("multiple components imply a crossing pair");
+        extra.push((a, bnode));
+        // Merge component labels.
+        let (ca, cb) = (comp[a as usize], comp[bnode as usize]);
+        for c in comp.iter_mut() {
+            if *c == cb {
+                *c = ca;
+            }
+        }
+        remaining -= 1;
+    }
+
+    GraphBuilder::with_nodes(n)
+        .edges(edges.iter().copied())
+        .edges(extra.iter().copied())
+        .coords(pts)
+        .build()
+        .expect("geometric generator emits valid edges")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn always_connected_even_with_tiny_radius() {
+        let g = random_geometric(40, 0.01, 5);
+        assert!(is_connected(&g));
+        assert_eq!(g.num_nodes(), 40);
+    }
+
+    #[test]
+    fn dense_radius_gives_many_edges() {
+        let g = random_geometric(50, 0.5, 1);
+        assert!(g.num_edges() > 100);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(random_geometric(30, 0.2, 9), random_geometric(30, 0.2, 9));
+    }
+
+    #[test]
+    fn edges_respect_radius_modulo_connectivity_links() {
+        let g = random_geometric(60, 0.25, 3);
+        let coords = g.coords().unwrap();
+        let mut long_edges = 0;
+        for (u, v, _) in g.edges() {
+            if coords[u as usize].dist(&coords[v as usize]) > 0.25 + 1e-12 {
+                long_edges += 1;
+            }
+        }
+        // Only connectivity patch-ups may exceed the radius, and there can
+        // be at most components-1 of them.
+        assert!(long_edges < 10);
+    }
+
+    #[test]
+    fn single_node() {
+        let g = random_geometric(1, 0.1, 0);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Regular 2-D grid graphs.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::geometry::Point2;
+
+/// Connectivity pattern for [`grid2d`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridKind {
+    /// 4-neighbour (von Neumann) connectivity: right and down edges.
+    FourConnected,
+    /// 4-neighbour plus one diagonal per cell, alternating direction by
+    /// cell parity — a structured triangulation of the grid.
+    Triangulated,
+    /// 8-neighbour (Moore) connectivity: both diagonals per cell.
+    EightConnected,
+}
+
+/// Builds a `rows × cols` grid graph with unit weights and coordinates on
+/// the integer lattice scaled into the unit square.
+///
+/// Node `(r, c)` has id `r * cols + c` (row-major), matching the row-major
+/// indexing of the paper's Figure 1.
+///
+/// # Panics
+///
+/// Panics if `rows == 0 || cols == 0`.
+pub fn grid2d(rows: usize, cols: usize, kind: GridKind) -> CsrGraph {
+    assert!(rows > 0 && cols > 0, "grid must be non-empty");
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut b = GraphBuilder::with_nodes(n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.push_edge(id(r, c), id(r, c + 1), 1);
+            }
+            if r + 1 < rows {
+                b.push_edge(id(r, c), id(r + 1, c), 1);
+            }
+            if r + 1 < rows && c + 1 < cols {
+                match kind {
+                    GridKind::FourConnected => {}
+                    GridKind::Triangulated => {
+                        // Alternate the diagonal by cell parity so triangle
+                        // strips don't all share an orientation.
+                        if (r + c) % 2 == 0 {
+                            b.push_edge(id(r, c), id(r + 1, c + 1), 1);
+                        } else {
+                            b.push_edge(id(r, c + 1), id(r + 1, c), 1);
+                        }
+                    }
+                    GridKind::EightConnected => {
+                        b.push_edge(id(r, c), id(r + 1, c + 1), 1);
+                        b.push_edge(id(r, c + 1), id(r + 1, c), 1);
+                    }
+                }
+            }
+        }
+    }
+    let sx = if cols > 1 { (cols - 1) as f64 } else { 1.0 };
+    let sy = if rows > 1 { (rows - 1) as f64 } else { 1.0 };
+    let coords = (0..n)
+        .map(|v| {
+            let r = v / cols;
+            let c = v % cols;
+            Point2::new(c as f64 / sx, r as f64 / sy)
+        })
+        .collect();
+    b.coords(coords)
+        .build()
+        .expect("grid generator emits valid edges")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn four_connected_edge_count() {
+        // rows*(cols-1) + cols*(rows-1)
+        let g = grid2d(3, 4, GridKind::FourConnected);
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 4 * 2);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn triangulated_adds_one_diagonal_per_cell() {
+        let g4 = grid2d(3, 3, GridKind::FourConnected);
+        let gt = grid2d(3, 3, GridKind::Triangulated);
+        assert_eq!(gt.num_edges(), g4.num_edges() + 2 * 2);
+    }
+
+    #[test]
+    fn eight_connected_adds_two_diagonals_per_cell() {
+        let g4 = grid2d(3, 3, GridKind::FourConnected);
+        let g8 = grid2d(3, 3, GridKind::EightConnected);
+        assert_eq!(g8.num_edges(), g4.num_edges() + 2 * 2 * 2);
+    }
+
+    #[test]
+    fn single_row_is_a_path() {
+        let g = grid2d(1, 5, GridKind::Triangulated);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn single_cell() {
+        let g = grid2d(1, 1, GridKind::EightConnected);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn coordinates_span_unit_square() {
+        let g = grid2d(4, 4, GridKind::FourConnected);
+        let coords = g.coords().unwrap();
+        assert_eq!(coords[0], Point2::new(0.0, 0.0));
+        assert_eq!(coords[15], Point2::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn row_major_ids() {
+        let g = grid2d(2, 3, GridKind::FourConnected);
+        // node 1 = (0,1): neighbours (0,0)=0, (0,2)=2, (1,1)=4
+        assert_eq!(g.neighbors(1), &[0, 2, 4]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Jittered triangulated meshes — the stand-in for the paper's unstructured
+//! computational graphs.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::geometry::Point2;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a connected, planar-ish triangulated mesh with **exactly** `n`
+/// nodes and jittered vertex coordinates.
+///
+/// Construction: lay out a `rows × cols` grid with `rows = ⌊√n⌋` and enough
+/// columns to cover `n`, keep only the first `n` nodes in row-major order
+/// (a row-major prefix of a grid stays connected), add the grid edges plus
+/// one alternating diagonal per complete cell (a structured triangulation),
+/// then jitter every coordinate by up to ±30% of the grid spacing. The
+/// result has average degree ≈ 6 away from the boundary — the degree
+/// profile of 2-D unstructured FEM meshes — and strong spatial locality,
+/// which is the property KNUX exploits.
+///
+/// Deterministic in `(n, seed)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn jittered_mesh(n: usize, seed: u64) -> CsrGraph {
+    assert!(n > 0, "mesh must have at least one node");
+    let rows = (n as f64).sqrt().floor() as usize;
+    let rows = rows.max(1);
+    let cols = n.div_ceil(rows);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6d65_7368); // "mesh"
+
+    let present = |r: usize, c: usize| r * cols + c < n;
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+
+    let mut b = GraphBuilder::with_nodes(n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if !present(r, c) {
+                continue;
+            }
+            if c + 1 < cols && present(r, c + 1) {
+                b.push_edge(id(r, c), id(r, c + 1), 1);
+            }
+            if present(r + 1, c) {
+                b.push_edge(id(r, c), id(r + 1, c), 1);
+            }
+            // One diagonal per complete cell, alternating orientation.
+            if c + 1 < cols && present(r + 1, c + 1) {
+                if (r + c) % 2 == 0 {
+                    b.push_edge(id(r, c), id(r + 1, c + 1), 1);
+                } else if present(r, c + 1) && present(r + 1, c) {
+                    b.push_edge(id(r, c + 1), id(r + 1, c), 1);
+                }
+            }
+        }
+    }
+
+    // The last row may be a short stub; ensure its nodes connect upward
+    // even when the node above-left pattern leaves an isolated tail.
+    // (Row-major prefix guarantees (r, c) has either a left or an up
+    // neighbour among the first n nodes for every node except node 0.)
+
+    let spacing_x = 1.0 / cols.max(2) as f64;
+    let spacing_y = 1.0 / rows.max(2) as f64;
+    let coords: Vec<Point2> = (0..n)
+        .map(|v| {
+            let r = v / cols;
+            let c = v % cols;
+            let jx = rng.gen_range(-0.3..0.3) * spacing_x;
+            let jy = rng.gen_range(-0.3..0.3) * spacing_y;
+            Point2::new(c as f64 * spacing_x + jx, r as f64 * spacing_y + jy)
+        })
+        .collect();
+
+    b.coords(coords)
+        .build()
+        .expect("mesh generator emits valid edges")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn exact_node_counts() {
+        for n in [1, 2, 3, 7, 78, 144, 309] {
+            let g = jittered_mesh(n, 42);
+            assert_eq!(g.num_nodes(), n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn always_connected() {
+        for n in [2, 5, 13, 78, 88, 98, 118, 139, 167, 249, 309] {
+            let g = jittered_mesh(n, 7);
+            assert!(is_connected(&g), "n = {n} disconnected");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = jittered_mesh(144, 3);
+        let b = jittered_mesh(144, 3);
+        assert_eq!(a, b);
+        let c = jittered_mesh(144, 4);
+        // Different seed ⇒ different coordinates (edges are structural).
+        assert_ne!(a.coords().unwrap()[0], c.coords().unwrap()[0]);
+    }
+
+    #[test]
+    fn mesh_degree_profile() {
+        let g = jittered_mesh(256, 1);
+        // Interior nodes of a triangulated grid have degree 5-6 (one
+        // diagonal per cell); boundary lower. Mean should sit in [3.5, 6].
+        let avg = g.avg_degree();
+        assert!((3.5..=6.0).contains(&avg), "avg degree {avg}");
+        assert!(g.max_degree() <= 8);
+    }
+
+    #[test]
+    fn has_coordinates_in_unit_box() {
+        let g = jittered_mesh(100, 9);
+        for p in g.coords().unwrap() {
+            assert!(p.x > -0.5 && p.x < 1.5);
+            assert!(p.y > -0.5 && p.y < 1.5);
+        }
+    }
+
+    #[test]
+    fn single_node_mesh() {
+        let g = jittered_mesh(1, 0);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Deterministic synthetic graph workloads.
+//!
+//! The paper evaluates on unstructured computational meshes of 78–309 nodes
+//! whose instance files do not survive; [`paper_graph`] regenerates
+//! locality-rich 2-D triangulated meshes with **exactly** the paper's node
+//! counts from fixed seeds (see DESIGN.md §3 for the substitution argument).
+//! The other generators provide stress-test and property-test inputs.
+
+mod geometric;
+mod grid;
+mod mesh;
+mod paper;
+mod random;
+
+pub use geometric::random_geometric;
+pub use grid::{grid2d, GridKind};
+pub use mesh::jittered_mesh;
+pub use paper::{paper_graph, paper_incremental_bases, PAPER_SIZES};
+pub use random::{gnp, ring_lattice};

@@ -1,0 +1,90 @@
+//! The paper's evaluation graph suite.
+//!
+//! The SC'94 paper partitions unstructured computational graphs of 78, 88,
+//! 98, 118, 139, 144, 167, 183, 213, 243, 249, 279 and 309 nodes (Tables
+//! 1–6); the actual instances were never published. This module fixes one
+//! deterministic [`jittered_mesh`](super::jittered_mesh) instance per node
+//! count so every experiment binary, test and benchmark in this repository
+//! operates on the same graphs.
+
+use super::mesh::jittered_mesh;
+use crate::csr::CsrGraph;
+
+/// Every distinct base-graph node count appearing in the paper's tables.
+pub const PAPER_SIZES: [usize; 13] = [
+    78, 88, 98, 118, 139, 144, 167, 183, 213, 243, 249, 279, 309,
+];
+
+/// The `(base, added)` pairs of the incremental experiments (Tables 3 & 6).
+pub fn paper_incremental_bases() -> Vec<(usize, usize)> {
+    vec![
+        (78, 10),
+        (78, 20),
+        (118, 21),
+        (118, 41),
+        (183, 30),
+        (183, 60),
+        (249, 30),
+        (249, 60),
+    ]
+}
+
+/// The canonical graph of `n` nodes used throughout the reproduction.
+///
+/// Deterministic: the seed is derived from `n`, so `paper_graph(144)` is
+/// the same graph in every test, table binary, and benchmark.
+///
+/// # Panics
+///
+/// Panics if `n == 0` (any positive `n` is allowed, not just the paper's
+/// counts — useful for sweeps).
+pub fn paper_graph(n: usize) -> CsrGraph {
+    // Fixed per-size seed: mix n so different sizes are decorrelated.
+    let seed = 0x5343_3934u64 ^ ((n as u64) << 16) ^ (n as u64).wrapping_mul(0x9e37_79b9);
+    jittered_mesh(n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn all_paper_sizes_generate_connected_graphs() {
+        for &n in &PAPER_SIZES {
+            let g = paper_graph(n);
+            assert_eq!(g.num_nodes(), n);
+            assert!(is_connected(&g), "paper graph {n} disconnected");
+            assert!(g.coords().is_some());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(paper_graph(144), paper_graph(144));
+    }
+
+    #[test]
+    fn different_sizes_differ() {
+        assert_ne!(paper_graph(78).num_edges(), paper_graph(309).num_edges());
+    }
+
+    #[test]
+    fn incremental_bases_reference_paper_tables() {
+        let bases = paper_incremental_bases();
+        assert!(bases.contains(&(118, 21)));
+        assert!(bases.contains(&(183, 60)));
+        assert!(bases.contains(&(249, 30)));
+        assert_eq!(bases.len(), 8);
+    }
+
+    #[test]
+    fn edge_density_is_mesh_like() {
+        // Triangulated 2-D meshes have |E| ≈ 2–3 |V|.
+        for &n in &[78, 144, 309] {
+            let g = paper_graph(n);
+            let ratio = g.num_edges() as f64 / n as f64;
+            assert!((1.5..=3.0).contains(&ratio), "n={n} ratio={ratio}");
+        }
+    }
+}

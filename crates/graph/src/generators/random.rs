@@ -1,0 +1,105 @@
+//! Locality-free random graphs (adversarial inputs for the KNUX bias).
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi `G(n, p)` graph. No coordinates (there is no geometry), so
+/// it exercises the code paths that must work without locality. Isolated
+/// vertices are possible; callers needing connectivity should check.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `p ∉ [0, 1]`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!(n > 0, "graph must have at least one node");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x676e_7000); // "gnp"
+    let mut b = GraphBuilder::with_nodes(n);
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            if rng.gen::<f64>() < p {
+                b.push_edge(i, j, 1);
+            }
+        }
+    }
+    b.build().expect("gnp emits valid edges")
+}
+
+/// Ring lattice: `n` nodes in a cycle, each connected to its `k` nearest
+/// neighbours on each side (`2k`-regular for `n > 2k`). A classic
+/// structured baseline with known optimal bisection.
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `k == 0` or `2k >= n`.
+pub fn ring_lattice(n: usize, k: usize) -> CsrGraph {
+    assert!(n >= 3, "ring needs at least 3 nodes");
+    assert!(k >= 1, "k must be positive");
+    assert!(2 * k < n, "2k must be less than n");
+    let mut b = GraphBuilder::with_nodes(n);
+    for i in 0..n {
+        for d in 1..=k {
+            let j = (i + d) % n;
+            b.push_edge(i as u32, j as u32, 1);
+        }
+    }
+    b.build().expect("ring lattice emits valid edges")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn gnp_zero_p_is_empty() {
+        let g = gnp(10, 0.0, 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn gnp_one_p_is_complete() {
+        let g = gnp(6, 1.0, 1);
+        assert_eq!(g.num_edges(), 15);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn gnp_deterministic() {
+        assert_eq!(gnp(20, 0.3, 5), gnp(20, 0.3, 5));
+        assert_ne!(gnp(20, 0.3, 5).num_edges(), 0);
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let g = gnp(100, 0.2, 7);
+        let expected = 0.2 * (100.0 * 99.0 / 2.0);
+        let got = g.num_edges() as f64;
+        assert!((got - expected).abs() < expected * 0.25, "got {got}");
+    }
+
+    #[test]
+    fn ring_lattice_is_regular() {
+        let g = ring_lattice(10, 2);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert!(is_connected(&g));
+        assert_eq!(g.num_edges(), 10 * 2);
+    }
+
+    #[test]
+    fn ring_lattice_k1_is_cycle() {
+        let g = ring_lattice(5, 1);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.neighbors(0), &[1, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "2k must be less than n")]
+    fn ring_lattice_rejects_overfull_k() {
+        ring_lattice(6, 3);
+    }
+}

@@ -1,0 +1,176 @@
+//! Plane geometry helpers for coordinate-carrying graphs.
+//!
+//! The paper's test graphs represent 2-D physical domains, and the
+//! index-based partitioner (appendix) maps coordinates to space-filling
+//! indices, so graphs optionally carry one [`Point2`] per vertex.
+
+/// A point in the plane. Coordinates are `f64` in arbitrary units; the
+/// generators in this crate place vertices inside the unit square.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point2 {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point from its coordinates.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point2 = Point2::new(0.0, 0.0);
+
+    /// Squared Euclidean distance to `other` (avoids the `sqrt` when only
+    /// comparisons are needed, e.g. nearest-neighbour queries).
+    pub fn dist2(&self, other: &Point2) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn dist(&self, other: &Point2) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Componentwise translation.
+    pub fn offset(&self, dx: f64, dy: f64) -> Point2 {
+        Point2::new(self.x + dx, self.y + dy)
+    }
+
+    /// Clamps both coordinates into `[lo, hi]`.
+    pub fn clamp(&self, lo: f64, hi: f64) -> Point2 {
+        Point2::new(self.x.clamp(lo, hi), self.y.clamp(lo, hi))
+    }
+}
+
+/// Axis-aligned bounding box of a non-empty point set.
+///
+/// Returns `None` for an empty slice.
+pub fn bounding_box(points: &[Point2]) -> Option<(Point2, Point2)> {
+    let first = points.first()?;
+    let mut lo = *first;
+    let mut hi = *first;
+    for p in &points[1..] {
+        lo.x = lo.x.min(p.x);
+        lo.y = lo.y.min(p.y);
+        hi.x = hi.x.max(p.x);
+        hi.y = hi.y.max(p.y);
+    }
+    Some((lo, hi))
+}
+
+/// Quantizes points onto a `resolution × resolution` integer grid covering
+/// their bounding box. Used by the index-based partitioner, which operates
+/// on integer grid coordinates.
+///
+/// Degenerate boxes (all points on a vertical or horizontal line) map the
+/// flat dimension to cell 0. `resolution` must be at least 1.
+pub fn quantize(points: &[Point2], resolution: u32) -> Vec<(u32, u32)> {
+    assert!(resolution >= 1, "resolution must be at least 1");
+    let Some((lo, hi)) = bounding_box(points) else {
+        return Vec::new();
+    };
+    let span_x = hi.x - lo.x;
+    let span_y = hi.y - lo.y;
+    let max_cell = (resolution - 1) as f64;
+    points
+        .iter()
+        .map(|p| {
+            let cx = if span_x > 0.0 {
+                (((p.x - lo.x) / span_x) * max_cell).round() as u32
+            } else {
+                0
+            };
+            let cy = if span_y > 0.0 {
+                (((p.y - lo.y) / span_y) * max_cell).round() as u32
+            } else {
+                0
+            };
+            (cx.min(resolution - 1), cy.min(resolution - 1))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert_eq!(a.dist2(&b), 25.0);
+        assert_eq!(a.dist(&b), 5.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point2::new(-1.5, 2.0);
+        let b = Point2::new(4.0, -0.5);
+        assert_eq!(a.dist(&b), b.dist(&a));
+    }
+
+    #[test]
+    fn offset_and_clamp() {
+        let p = Point2::new(0.5, 0.5).offset(1.0, -2.0);
+        assert_eq!(p, Point2::new(1.5, -1.5));
+        assert_eq!(p.clamp(0.0, 1.0), Point2::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn bounding_box_of_empty_is_none() {
+        assert!(bounding_box(&[]).is_none());
+    }
+
+    #[test]
+    fn bounding_box_covers_all_points() {
+        let pts = [
+            Point2::new(0.2, 0.9),
+            Point2::new(-1.0, 0.3),
+            Point2::new(0.7, -0.4),
+        ];
+        let (lo, hi) = bounding_box(&pts).unwrap();
+        assert_eq!(lo, Point2::new(-1.0, -0.4));
+        assert_eq!(hi, Point2::new(0.7, 0.9));
+    }
+
+    #[test]
+    fn quantize_corners_map_to_grid_corners() {
+        let pts = [
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.5, 0.5),
+        ];
+        let q = quantize(&pts, 8);
+        assert_eq!(q[0], (0, 0));
+        assert_eq!(q[1], (7, 7));
+        // midpoint lands in the middle cells
+        assert!(q[2].0 == 3 || q[2].0 == 4);
+        assert!(q[2].1 == 3 || q[2].1 == 4);
+    }
+
+    #[test]
+    fn quantize_degenerate_line() {
+        // All x equal: the x dimension collapses to cell 0.
+        let pts = [Point2::new(0.5, 0.0), Point2::new(0.5, 1.0)];
+        let q = quantize(&pts, 4);
+        assert_eq!(q[0], (0, 0));
+        assert_eq!(q[1], (0, 3));
+    }
+
+    #[test]
+    fn quantize_single_point() {
+        let q = quantize(&[Point2::new(0.3, 0.3)], 16);
+        assert_eq!(q, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn quantize_resolution_one_maps_everything_to_origin_cell() {
+        let pts = [Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)];
+        assert_eq!(quantize(&pts, 1), vec![(0, 0), (0, 0)]);
+    }
+}

@@ -1,0 +1,298 @@
+//! METIS-compatible text serialization.
+//!
+//! Format: header `N M [fmt]`, then one line per vertex listing its
+//! (1-indexed) neighbours. `fmt` is the METIS 3-digit flag word: `010`
+//! adds a vertex weight before the neighbour list, `001` adds an edge
+//! weight after each neighbour, `011` both. Comment lines start with `%`.
+//! Coordinates travel in a separate `x y` per-line document (one per
+//! vertex), matching common mesh tool conventions.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use crate::geometry::Point2;
+use std::fmt::Write as _;
+
+/// Serializes the graph in METIS format. Emits vertex weights iff any is
+/// non-unit and edge weights iff any is non-unit.
+pub fn to_metis(graph: &CsrGraph) -> String {
+    let has_vw = graph.node_weights().iter().any(|&w| w != 1);
+    let has_ew = graph.eweights().iter().any(|&w| w != 1);
+    let mut out = String::new();
+    let fmt = match (has_vw, has_ew) {
+        (false, false) => "",
+        (false, true) => " 001",
+        (true, false) => " 010",
+        (true, true) => " 011",
+    };
+    let _ = writeln!(out, "{} {}{}", graph.num_nodes(), graph.num_edges(), fmt);
+    for v in 0..graph.num_nodes() as u32 {
+        let mut first = true;
+        if has_vw {
+            let _ = write!(out, "{}", graph.node_weight(v));
+            first = false;
+        }
+        for (&u, &w) in graph.neighbors(v).iter().zip(graph.edge_weights(v)) {
+            if !first {
+                out.push(' ');
+            }
+            let _ = write!(out, "{}", u + 1);
+            if has_ew {
+                let _ = write!(out, " {}", w);
+            }
+            first = false;
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a METIS-format document produced by [`to_metis`] (or by METIS
+/// itself, for the `000`/`001`/`010`/`011` formats).
+///
+/// # Errors
+///
+/// [`GraphError::Parse`] for malformed input; builder errors for
+/// structurally invalid graphs (self-loops, out-of-range ids, …).
+pub fn from_metis(text: &str) -> Result<CsrGraph, GraphError> {
+    // Comments are always skipped; empty lines are significant *after*
+    // the header (an isolated vertex serializes as an empty line) but
+    // skipped before it.
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.starts_with('%'));
+
+    let (hline, header) = lines
+        .by_ref()
+        .find(|(_, l)| !l.is_empty())
+        .ok_or(GraphError::Parse {
+            line: 1,
+            message: "empty document".into(),
+        })?;
+    let mut it = header.split_whitespace();
+    let parse_usize = |tok: Option<&str>, line: usize, what: &str| -> Result<usize, GraphError> {
+        tok.ok_or_else(|| GraphError::Parse {
+            line,
+            message: format!("missing {what}"),
+        })?
+        .parse()
+        .map_err(|_| GraphError::Parse {
+            line,
+            message: format!("bad {what}"),
+        })
+    };
+    let n = parse_usize(it.next(), hline, "node count")?;
+    let m = parse_usize(it.next(), hline, "edge count")?;
+    let fmt = it.next().unwrap_or("000");
+    let (has_vw, has_ew) = match fmt {
+        "0" | "00" | "000" => (false, false),
+        "1" | "01" | "001" => (false, true),
+        "10" | "010" => (true, false),
+        "11" | "011" => (true, true),
+        other => {
+            return Err(GraphError::Parse {
+                line: hline,
+                message: format!("unsupported fmt '{other}'"),
+            })
+        }
+    };
+
+    let mut b = GraphBuilder::with_nodes(n);
+    let mut vweights = vec![1u32; n];
+    let mut rows = 0usize;
+    #[allow(clippy::needless_range_loop, clippy::explicit_counter_loop)]
+    for v in 0..n {
+        let (lno, line) = lines.next().ok_or(GraphError::Parse {
+            line: hline,
+            message: format!("expected {n} vertex lines, got {rows}"),
+        })?;
+        rows += 1;
+        let mut toks = line.split_whitespace();
+        if has_vw {
+            let w: u32 = toks
+                .next()
+                .ok_or_else(|| GraphError::Parse {
+                    line: lno,
+                    message: "missing vertex weight".into(),
+                })?
+                .parse()
+                .map_err(|_| GraphError::Parse {
+                    line: lno,
+                    message: "bad vertex weight".into(),
+                })?;
+            vweights[v] = w;
+        }
+        while let Some(tok) = toks.next() {
+            let nbr1: usize = tok.parse().map_err(|_| GraphError::Parse {
+                line: lno,
+                message: format!("bad neighbour '{tok}'"),
+            })?;
+            if nbr1 == 0 || nbr1 > n {
+                return Err(GraphError::Parse {
+                    line: lno,
+                    message: format!("neighbour {nbr1} out of 1..={n}"),
+                });
+            }
+            let w: u32 = if has_ew {
+                toks.next()
+                    .ok_or_else(|| GraphError::Parse {
+                        line: lno,
+                        message: "missing edge weight".into(),
+                    })?
+                    .parse()
+                    .map_err(|_| GraphError::Parse {
+                        line: lno,
+                        message: "bad edge weight".into(),
+                    })?
+            } else {
+                1
+            };
+            let u = (nbr1 - 1) as u32;
+            // Each undirected edge appears on both endpoint lines; keep the
+            // canonical direction only so builder merging doesn't double
+            // the weight.
+            if (v as u32) < u {
+                b.push_edge(v as u32, u, w);
+            }
+        }
+    }
+    let g = b.node_weights(vweights).build()?;
+    if g.num_edges() != m {
+        return Err(GraphError::Parse {
+            line: hline,
+            message: format!("header claims {m} edges, document has {}", g.num_edges()),
+        });
+    }
+    Ok(g)
+}
+
+/// Serializes vertex coordinates, one `x y` pair per line.
+pub fn coords_to_text(coords: &[Point2]) -> String {
+    let mut out = String::new();
+    for p in coords {
+        let _ = writeln!(out, "{} {}", p.x, p.y);
+    }
+    out
+}
+
+/// Parses a coordinate document produced by [`coords_to_text`].
+pub fn coords_from_text(text: &str) -> Result<Vec<Point2>, GraphError> {
+    let mut coords = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let mut axis = |what: &str| -> Result<f64, GraphError> {
+            it.next()
+                .ok_or_else(|| GraphError::Parse {
+                    line: i + 1,
+                    message: format!("missing {what}"),
+                })?
+                .parse()
+                .map_err(|_| GraphError::Parse {
+                    line: i + 1,
+                    message: format!("bad {what}"),
+                })
+        };
+        let x = axis("x coordinate")?;
+        let y = axis("y coordinate")?;
+        coords.push(Point2::new(x, y));
+    }
+    Ok(coords)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::generators::paper_graph;
+
+    #[test]
+    fn unit_graph_round_trip() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let text = to_metis(&g);
+        assert!(text.starts_with("4 4\n"));
+        let g2 = from_metis(&text).unwrap();
+        assert_eq!(g.num_edges(), g2.num_edges());
+        assert_eq!(g.adjncy(), g2.adjncy());
+    }
+
+    #[test]
+    fn weighted_round_trip() {
+        let g = GraphBuilder::with_nodes(3)
+            .weighted_edge(0, 1, 4)
+            .weighted_edge(1, 2, 9)
+            .node_weights(vec![2, 3, 5])
+            .build()
+            .unwrap();
+        let text = to_metis(&g);
+        assert!(text.starts_with("3 2 011\n"));
+        let g2 = from_metis(&text).unwrap();
+        assert_eq!(g2.edge_weight(0, 1), Some(4));
+        assert_eq!(g2.edge_weight(1, 2), Some(9));
+        assert_eq!(g2.node_weights(), &[2, 3, 5]);
+    }
+
+    #[test]
+    fn paper_graph_round_trip() {
+        let g = paper_graph(78);
+        let g2 = from_metis(&to_metis(&g)).unwrap();
+        assert_eq!(g.num_nodes(), g2.num_nodes());
+        assert_eq!(g.num_edges(), g2.num_edges());
+        assert_eq!(g.xadj(), g2.xadj());
+        assert_eq!(g.adjncy(), g2.adjncy());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "% a comment\n\n3 2\n2\n1 3\n2\n";
+        let g = from_metis(text).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn rejects_neighbour_out_of_range() {
+        let text = "2 1\n2\n5\n";
+        let err = from_metis(text).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_wrong_edge_count() {
+        let text = "3 5\n2\n1 3\n2\n";
+        let err = from_metis(text).unwrap_err();
+        assert!(err.to_string().contains("5 edges"));
+    }
+
+    #[test]
+    fn rejects_truncated_document() {
+        let text = "3 2\n2\n";
+        assert!(from_metis(text).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage_tokens() {
+        assert!(from_metis("x y\n").is_err());
+        assert!(from_metis("2 1\n2\nzzz\n").is_err());
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let coords = vec![Point2::new(0.25, -1.5), Point2::new(3.0, 0.0)];
+        let parsed = coords_from_text(&coords_to_text(&coords)).unwrap();
+        assert_eq!(parsed, coords);
+    }
+
+    #[test]
+    fn coords_reject_garbage() {
+        assert!(coords_from_text("1.0\n").is_err());
+        assert!(coords_from_text("a b\n").is_err());
+    }
+
+    use crate::builder::GraphBuilder;
+}

@@ -1,0 +1,104 @@
+//! Induced subgraph extraction (used by recursive bisection).
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+
+/// An induced subgraph plus the mapping back to the parent graph.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// The induced subgraph; node `i` corresponds to `orig_ids[i]` in the
+    /// parent.
+    pub graph: CsrGraph,
+    /// Parent node id of each subgraph node.
+    pub orig_ids: Vec<u32>,
+}
+
+/// Extracts the subgraph induced by `nodes` (need not be sorted; must not
+/// contain duplicates). Node/edge weights and coordinates carry over.
+///
+/// # Panics
+///
+/// Panics if `nodes` contains an out-of-range id or duplicates.
+pub fn induced_subgraph(graph: &CsrGraph, nodes: &[u32]) -> Subgraph {
+    let n = graph.num_nodes();
+    let mut local = vec![u32::MAX; n];
+    for (i, &v) in nodes.iter().enumerate() {
+        assert!((v as usize) < n, "node {v} out of range");
+        assert!(local[v as usize] == u32::MAX, "duplicate node {v}");
+        local[v as usize] = i as u32;
+    }
+    let mut b = GraphBuilder::with_nodes(nodes.len());
+    for &v in nodes {
+        let lv = local[v as usize];
+        for (&u, &w) in graph.neighbors(v).iter().zip(graph.edge_weights(v)) {
+            let lu = local[u as usize];
+            if lu != u32::MAX && lv < lu {
+                b.push_edge(lv, lu, w);
+            }
+        }
+    }
+    let vweights = nodes.iter().map(|&v| graph.node_weight(v)).collect();
+    b = b.node_weights(vweights);
+    if let Some(coords) = graph.coords() {
+        b = b.coords(nodes.iter().map(|&v| coords[v as usize]).collect());
+    }
+    Subgraph {
+        graph: b.build().expect("induced subgraph of a valid graph is valid"),
+        orig_ids: nodes.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::generators::paper_graph;
+
+    #[test]
+    fn extracts_internal_edges_only() {
+        // square 0-1-2-3-0 plus chord 0-2
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        let s = induced_subgraph(&g, &[0, 1, 2]);
+        assert_eq!(s.graph.num_nodes(), 3);
+        // edges 0-1, 1-2, 0-2 survive; 2-3 and 3-0 don't.
+        assert_eq!(s.graph.num_edges(), 3);
+        assert_eq!(s.orig_ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn respects_node_order() {
+        let g = from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let s = induced_subgraph(&g, &[2, 0, 1]);
+        // local 0 = orig 2, local 1 = orig 0, local 2 = orig 1
+        assert!(s.graph.has_edge(0, 2)); // orig (2,1)
+        assert!(s.graph.has_edge(1, 2)); // orig (0,1)
+        assert!(!s.graph.has_edge(0, 1)); // orig (2,0) absent
+    }
+
+    #[test]
+    fn carries_weights_and_coords() {
+        let g = paper_graph(78);
+        let nodes: Vec<u32> = (0..30).collect();
+        let s = induced_subgraph(&g, &nodes);
+        assert!(s.graph.coords().is_some());
+        assert_eq!(
+            s.graph.coords().unwrap()[5],
+            g.coords().unwrap()[5]
+        );
+        assert_eq!(s.graph.node_weight(3), g.node_weight(3));
+    }
+
+    #[test]
+    fn empty_selection() {
+        let g = from_edges(3, &[(0, 1)]).unwrap();
+        let s = induced_subgraph(&g, &[]);
+        assert_eq!(s.graph.num_nodes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn rejects_duplicates() {
+        let g = from_edges(3, &[(0, 1)]).unwrap();
+        induced_subgraph(&g, &[1, 1]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Breadth-first traversal and connectivity queries.
+
+use crate::csr::CsrGraph;
+
+/// BFS visit order starting from `source`. Only the component containing
+/// `source` is visited.
+pub fn bfs_order(graph: &CsrGraph, source: u32) -> Vec<u32> {
+    let n = graph.num_nodes();
+    assert!((source as usize) < n, "source out of range");
+    let mut seen = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut queue = std::collections::VecDeque::new();
+    seen[source as usize] = true;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &u in graph.neighbors(v) {
+            if !seen[u as usize] {
+                seen[u as usize] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    order
+}
+
+/// Unweighted hop distance from `source` to every node; unreachable nodes
+/// get `usize::MAX`.
+pub fn bfs_distances(graph: &CsrGraph, source: u32) -> Vec<usize> {
+    let n = graph.num_nodes();
+    assert!((source as usize) < n, "source out of range");
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &u in graph.neighbors(v) {
+            if dist[u as usize] == usize::MAX {
+                dist[u as usize] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected components: returns `(component_id_per_node, component_count)`.
+/// Component ids are dense in `0..count` and assigned in order of the
+/// lowest-numbered node in each component.
+pub fn connected_components(graph: &CsrGraph) -> (Vec<u32>, usize) {
+    let n = graph.num_nodes();
+    let mut comp = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n as u32 {
+        if comp[start as usize] != u32::MAX {
+            continue;
+        }
+        comp[start as usize] = count;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &u in graph.neighbors(v) {
+                if comp[u as usize] == u32::MAX {
+                    comp[u as usize] = count;
+                    queue.push_back(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count as usize)
+}
+
+/// Whether the graph is connected. The empty graph counts as connected.
+pub fn is_connected(graph: &CsrGraph) -> bool {
+    graph.num_nodes() == 0 || connected_components(graph).1 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    #[test]
+    fn bfs_order_visits_component_in_level_order() {
+        // 0-1, 0-2, 1-3
+        let g = from_edges(4, &[(0, 1), (0, 2), (1, 3)]).unwrap();
+        assert_eq!(bfs_order(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_order(&g, 3), vec![3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn bfs_order_skips_other_components() {
+        let g = from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(bfs_order(&g, 0), vec![0, 1]);
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn distances_mark_unreachable() {
+        let g = from_edges(3, &[(0, 1)]).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], usize::MAX);
+    }
+
+    #[test]
+    fn components_counted_and_labeled() {
+        let g = from_edges(5, &[(0, 1), (2, 3)]).unwrap();
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[0], comp[4]);
+    }
+
+    #[test]
+    fn connectivity_checks() {
+        let g = from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert!(is_connected(&g));
+        let g = from_edges(3, &[(0, 1)]).unwrap();
+        assert!(!is_connected(&g));
+        let empty = from_edges(0, &[]).unwrap();
+        assert!(is_connected(&empty));
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn bfs_panics_on_bad_source() {
+        let g = from_edges(2, &[(0, 1)]).unwrap();
+        bfs_order(&g, 5);
+    }
+}

@@ -1,0 +1,143 @@
+//! Workload-oriented integration tests for the graph substrate: the
+//! properties the partitioners implicitly rely on across the whole
+//! generator suite, plus file-level METIS interop.
+
+use gapart_graph::generators::{
+    gnp, grid2d, jittered_mesh, paper_graph, random_geometric, ring_lattice, GridKind,
+    paper_incremental_bases, PAPER_SIZES,
+};
+use gapart_graph::incremental::grow_local;
+use gapart_graph::io::{coords_to_text, from_metis, to_metis};
+use gapart_graph::partition::{cut_size, Partition};
+use gapart_graph::traversal::{bfs_distances, is_connected};
+
+#[test]
+fn paper_suite_has_stable_fingerprints() {
+    // Regression guard: the deterministic suite must never silently
+    // change, or every number in EXPERIMENTS.md becomes stale. Edge
+    // counts act as a cheap fingerprint.
+    let expected: [(usize, usize); 13] = [
+        (78, 199),
+        (88, 227),
+        (98, 255),
+        (118, 311),
+        (139, 370),
+        (144, 385),
+        (167, 450),
+        (183, 494),
+        (213, 580),
+        (243, 666),
+        (249, 684),
+        (279, 770),
+        (309, 856),
+    ];
+    for (n, edges) in expected {
+        let g = paper_graph(n);
+        assert_eq!(
+            g.num_edges(),
+            edges,
+            "paper_graph({n}) changed structure — update EXPERIMENTS.md if intentional"
+        );
+    }
+}
+
+#[test]
+fn paper_sizes_cover_every_table_row() {
+    for &(base, _) in &[(78, 10), (118, 21), (183, 30), (249, 30)] {
+        assert!(PAPER_SIZES.contains(&base));
+    }
+    for (base, added) in paper_incremental_bases() {
+        assert!(base >= 78 && added > 0);
+    }
+}
+
+#[test]
+fn mesh_diameter_scales_like_sqrt_n() {
+    // Locality sanity: a 2-D mesh of n nodes has diameter Θ(√n); a
+    // locality-free G(n,p) at the same density has diameter O(log n).
+    let mesh = jittered_mesh(400, 3);
+    let ecc = *bfs_distances(&mesh, 0).iter().max().unwrap();
+    assert!(
+        (15..=80).contains(&ecc),
+        "mesh eccentricity {ecc} not √n-like"
+    );
+}
+
+#[test]
+fn every_generator_is_deterministic() {
+    assert_eq!(jittered_mesh(100, 5), jittered_mesh(100, 5));
+    assert_eq!(gnp(50, 0.2, 5), gnp(50, 0.2, 5));
+    assert_eq!(random_geometric(50, 0.2, 5), random_geometric(50, 0.2, 5));
+    assert_eq!(
+        grid2d(7, 9, GridKind::Triangulated),
+        grid2d(7, 9, GridKind::Triangulated)
+    );
+    assert_eq!(ring_lattice(20, 2), ring_lattice(20, 2));
+}
+
+#[test]
+fn repeated_growth_accumulates() {
+    // Growing twice = a realistic two-step adaptive refinement.
+    let g0 = paper_graph(118);
+    let g1 = grow_local(&g0, 21, 1).unwrap().graph;
+    let g2 = grow_local(&g1, 20, 2).unwrap().graph;
+    assert_eq!(g2.num_nodes(), 159);
+    assert!(is_connected(&g2));
+    // Original edges survive two rounds.
+    for (u, v, w) in g0.edges() {
+        assert_eq!(g2.edge_weight(u, v), Some(w));
+    }
+}
+
+#[test]
+fn metis_files_round_trip_through_disk() {
+    let dir = std::env::temp_dir().join(format!("gapart-io-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for &n in &[78usize, 144] {
+        let g = paper_graph(n);
+        let path = dir.join(format!("g{n}.metis"));
+        std::fs::write(&path, to_metis(&g)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let g2 = from_metis(&text).unwrap();
+        assert_eq!(g.adjncy(), g2.adjncy());
+
+        let cpath = dir.join(format!("g{n}.xy"));
+        std::fs::write(&cpath, coords_to_text(g.coords().unwrap())).unwrap();
+        let parsed =
+            gapart_graph::io::coords_from_text(&std::fs::read_to_string(&cpath).unwrap())
+                .unwrap();
+        assert_eq!(parsed.len(), n);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn grid_optimal_bisection_is_known() {
+    // On an r×c grid with c even, splitting columns in half cuts exactly
+    // r edges — a ground-truth partition the heuristics can be scored
+    // against.
+    let (rows, cols) = (6usize, 10usize);
+    let g = grid2d(rows, cols, GridKind::FourConnected);
+    let labels: Vec<u32> = (0..rows * cols)
+        .map(|v| u32::from(v % cols >= cols / 2))
+        .collect();
+    let p = Partition::new(labels, 2).unwrap();
+    assert_eq!(cut_size(&g, &p), rows as u64);
+}
+
+#[test]
+fn gnp_has_no_coords_and_mesh_has_coords() {
+    assert!(gnp(30, 0.2, 1).coords().is_none());
+    assert!(jittered_mesh(30, 1).coords().is_some());
+    assert!(random_geometric(30, 0.2, 1).coords().is_some());
+}
+
+#[test]
+fn incremental_bases_match_grown_totals() {
+    // Table 3/6 case "118+21" must produce a 139-node graph — the same
+    // node count as the standalone 139-node row in Table 2, which is how
+    // the paper's tables line up.
+    let g = paper_graph(118);
+    let r = grow_local(&g, 21, 0xABCD).unwrap();
+    assert_eq!(r.graph.num_nodes(), 139);
+}

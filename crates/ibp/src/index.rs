@@ -1,0 +1,197 @@
+//! Spatial indexing schemes for grid coordinates.
+
+use crate::interleave::{bits_for, interleave2};
+
+/// The indexing schemes supported by the partitioner. Row-major and
+/// shuffled row-major are the two the paper illustrates (Figure 1);
+/// Hilbert is the natural extension with strictly better locality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexScheme {
+    /// `index = row * cols + col` — Figure 1(a).
+    RowMajor,
+    /// Bit-interleaved Morton / Z-order — Figure 1(b).
+    ShuffledRowMajor,
+    /// Hilbert space-filling curve (extension; not in the paper's figure).
+    Hilbert,
+}
+
+impl IndexScheme {
+    /// Index of cell `(row, col)` on a `side × side` grid (`side` need not
+    /// be a power of two; it is rounded up internally for the bitwise
+    /// schemes).
+    pub fn index(&self, row: u32, col: u32, side: u32) -> u64 {
+        assert!(row < side && col < side, "cell out of range");
+        match self {
+            IndexScheme::RowMajor => row as u64 * side as u64 + col as u64,
+            IndexScheme::ShuffledRowMajor => {
+                let bits = bits_for(side);
+                interleave2(row, col, bits)
+            }
+            IndexScheme::Hilbert => {
+                let bits = bits_for(side);
+                hilbert_d(row, col, bits)
+            }
+        }
+    }
+
+    /// All schemes, for sweeps and tests.
+    pub const ALL: [IndexScheme; 3] = [
+        IndexScheme::RowMajor,
+        IndexScheme::ShuffledRowMajor,
+        IndexScheme::Hilbert,
+    ];
+}
+
+impl std::fmt::Display for IndexScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexScheme::RowMajor => write!(f, "row-major"),
+            IndexScheme::ShuffledRowMajor => write!(f, "shuffled row-major"),
+            IndexScheme::Hilbert => write!(f, "hilbert"),
+        }
+    }
+}
+
+/// Distance along the Hilbert curve of order `bits` for cell `(row, col)`.
+/// Classic iterative rotation algorithm.
+pub fn hilbert_d(row: u32, col: u32, bits: u32) -> u64 {
+    let (mut x, mut y) = (col as u64, row as u64);
+    let mut rx: u64;
+    let mut ry: u64;
+    let mut d: u64 = 0;
+    let mut s: u64 = 1u64 << (bits - 1);
+    while s > 0 {
+        rx = u64::from((x & s) > 0);
+        ry = u64::from((y & s) > 0);
+        d += s * s * ((3 * rx) ^ ry);
+        // Rotate quadrant.
+        if ry == 0 {
+            if rx == 1 {
+                x = s.wrapping_sub(1).wrapping_sub(x);
+                y = s.wrapping_sub(1).wrapping_sub(y);
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
+}
+
+/// The paper's Figure 1(a): row-major indices of an 8×8 grid, row by row.
+pub fn figure1_row_major() -> [[u64; 8]; 8] {
+    let mut m = [[0u64; 8]; 8];
+    for (r, rowv) in m.iter_mut().enumerate() {
+        for (c, cell) in rowv.iter_mut().enumerate() {
+            *cell = IndexScheme::RowMajor.index(r as u32, c as u32, 8);
+        }
+    }
+    m
+}
+
+/// The paper's Figure 1(b): shuffled row-major indices of an 8×8 grid.
+pub fn figure1_shuffled() -> [[u64; 8]; 8] {
+    let mut m = [[0u64; 8]; 8];
+    for (r, rowv) in m.iter_mut().enumerate() {
+        for (c, cell) in rowv.iter_mut().enumerate() {
+            *cell = IndexScheme::ShuffledRowMajor.index(r as u32, c as u32, 8);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1a_matches_paper_exactly() {
+        let expect: [[u64; 8]; 8] = [
+            [0, 1, 2, 3, 4, 5, 6, 7],
+            [8, 9, 10, 11, 12, 13, 14, 15],
+            [16, 17, 18, 19, 20, 21, 22, 23],
+            [24, 25, 26, 27, 28, 29, 30, 31],
+            [32, 33, 34, 35, 36, 37, 38, 39],
+            [40, 41, 42, 43, 44, 45, 46, 47],
+            [48, 49, 50, 51, 52, 53, 54, 55],
+            [56, 57, 58, 59, 60, 61, 62, 63],
+        ];
+        assert_eq!(figure1_row_major(), expect);
+    }
+
+    #[test]
+    fn figure1b_matches_paper_exactly() {
+        // Transcribed from the paper's Figure 1(b).
+        let expect: [[u64; 8]; 8] = [
+            [0, 1, 4, 5, 16, 17, 20, 21],
+            [2, 3, 6, 7, 18, 19, 22, 23],
+            [8, 9, 12, 13, 24, 25, 28, 29],
+            [10, 11, 14, 15, 26, 27, 30, 31],
+            [32, 33, 36, 37, 48, 49, 52, 53],
+            [34, 35, 38, 39, 50, 51, 54, 55],
+            [40, 41, 44, 45, 56, 57, 60, 61],
+            [42, 43, 46, 47, 58, 59, 62, 63],
+        ];
+        assert_eq!(figure1_shuffled(), expect);
+    }
+
+    #[test]
+    fn hilbert_is_a_bijection() {
+        let mut seen = vec![false; 64];
+        for r in 0..8 {
+            for c in 0..8 {
+                let d = hilbert_d(r, c, 3) as usize;
+                assert!(d < 64);
+                assert!(!seen[d], "distance {d} repeated");
+                seen[d] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn hilbert_consecutive_cells_are_adjacent() {
+        // The defining property of the Hilbert curve: consecutive indices
+        // are unit-distance apart on the grid.
+        let bits = 4;
+        let side = 1u32 << bits;
+        let mut by_d: Vec<(u32, u32)> = vec![(0, 0); (side * side) as usize];
+        for r in 0..side {
+            for c in 0..side {
+                by_d[hilbert_d(r, c, bits) as usize] = (r, c);
+            }
+        }
+        for w in by_d.windows(2) {
+            let (r0, c0) = w[0];
+            let (r1, c1) = w[1];
+            let dist = r0.abs_diff(r1) + c0.abs_diff(c1);
+            assert_eq!(dist, 1, "cells {:?} -> {:?} not adjacent", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_sides_still_injective() {
+        for scheme in IndexScheme::ALL {
+            let mut seen = std::collections::HashSet::new();
+            for r in 0..6u32 {
+                for c in 0..6u32 {
+                    assert!(
+                        seen.insert(scheme.index(r, c, 6)),
+                        "{scheme} collided at ({r},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cell out of range")]
+    fn rejects_out_of_range_cell() {
+        IndexScheme::RowMajor.index(8, 0, 8);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(IndexScheme::RowMajor.to_string(), "row-major");
+        assert_eq!(IndexScheme::Hilbert.to_string(), "hilbert");
+    }
+}

@@ -1,0 +1,197 @@
+//! The full IBP pipeline: quantize → index → sort → color.
+
+use crate::index::IndexScheme;
+use gapart_graph::error::GraphError;
+use gapart_graph::geometry::quantize;
+use gapart_graph::{CsrGraph, Partition};
+
+/// Options for [`ibp_partition`].
+#[derive(Debug, Clone)]
+pub struct IbpOptions {
+    /// Indexing scheme (the paper illustrates row-major and shuffled
+    /// row-major; shuffled is the better seed and the default).
+    pub scheme: IndexScheme,
+    /// Grid resolution the coordinates are quantized onto. Higher values
+    /// distinguish nearby vertices better; 1024 is plenty for the paper's
+    /// graph sizes.
+    pub resolution: u32,
+}
+
+impl Default for IbpOptions {
+    fn default() -> Self {
+        IbpOptions {
+            scheme: IndexScheme::ShuffledRowMajor,
+            resolution: 1024,
+        }
+    }
+}
+
+/// Partitions a coordinate-carrying graph into `num_parts` parts by the
+/// paper's appendix algorithm: quantize vertex coordinates onto a grid,
+/// compute each vertex's 1-D spatial index, sort (ties broken by vertex
+/// id), and cut the sorted list into `P` equal sublists.
+///
+/// # Errors
+///
+/// [`GraphError::MissingCoordinates`] if the graph carries no geometry;
+/// [`GraphError::PartOutOfRange`] if `num_parts` is zero or exceeds the
+/// node count.
+pub fn ibp_partition(
+    graph: &CsrGraph,
+    num_parts: u32,
+    opts: &IbpOptions,
+) -> Result<Partition, GraphError> {
+    let n = graph.num_nodes();
+    if num_parts == 0 || num_parts as usize > n {
+        return Err(GraphError::PartOutOfRange {
+            part: num_parts,
+            num_parts,
+        });
+    }
+    let coords = graph.coords_required()?;
+
+    // Phase 1: indexing.
+    let cells = quantize(coords, opts.resolution);
+    let mut keyed: Vec<(u64, u32)> = cells
+        .iter()
+        .enumerate()
+        .map(|(v, &(cx, cy))| {
+            // quantize returns (x, y); the schemes take (row, col).
+            (opts.scheme.index(cy, cx, opts.resolution), v as u32)
+        })
+        .collect();
+
+    // Phase 2: sorting (stable order via the id tiebreak).
+    keyed.sort_unstable();
+
+    // Phase 3: coloring — P equal sublists (first `n mod P` lists get the
+    // extra vertex).
+    let mut labels = vec![0u32; n];
+    let base = n / num_parts as usize;
+    let extra = n % num_parts as usize;
+    let mut pos = 0usize;
+    for part in 0..num_parts {
+        let take = base + usize::from((part as usize) < extra);
+        for &(_, v) in &keyed[pos..pos + take] {
+            labels[v as usize] = part;
+        }
+        pos += take;
+    }
+    Partition::new(labels, num_parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gapart_graph::generators::{grid2d, paper_graph, GridKind};
+    use gapart_graph::partition::{cut_size, PartitionMetrics};
+
+    #[test]
+    fn parts_are_equal_sized() {
+        let g = paper_graph(167);
+        for parts in [2u32, 4, 8] {
+            let p = ibp_partition(&g, parts, &IbpOptions::default()).unwrap();
+            let sizes = p.part_sizes();
+            let min = *sizes.iter().min().unwrap();
+            let max = *sizes.iter().max().unwrap();
+            assert!(max - min <= 1, "parts={parts}: sizes {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn locality_beats_round_robin() {
+        let g = paper_graph(144);
+        let ibp = ibp_partition(&g, 4, &IbpOptions::default()).unwrap();
+        let rr = Partition::round_robin(144, 4);
+        assert!(
+            cut_size(&g, &ibp) < cut_size(&g, &rr),
+            "IBP {} should beat round-robin {}",
+            cut_size(&g, &ibp),
+            cut_size(&g, &rr)
+        );
+    }
+
+    #[test]
+    fn shuffled_beats_row_major_on_square_grid() {
+        // On a square grid split 4 ways, row-major produces 4 horizontal
+        // slabs (3 full-width cuts); Morton produces 4 quadrant-ish blocks
+        // (shorter total boundary).
+        let g = grid2d(16, 16, GridKind::FourConnected);
+        let rm = ibp_partition(
+            &g,
+            4,
+            &IbpOptions {
+                scheme: IndexScheme::RowMajor,
+                resolution: 16,
+            },
+        )
+        .unwrap();
+        let sh = ibp_partition(
+            &g,
+            4,
+            &IbpOptions {
+                scheme: IndexScheme::ShuffledRowMajor,
+                resolution: 16,
+            },
+        )
+        .unwrap();
+        assert!(
+            cut_size(&g, &sh) < cut_size(&g, &rm),
+            "shuffled {} vs row-major {}",
+            cut_size(&g, &sh),
+            cut_size(&g, &rm)
+        );
+    }
+
+    #[test]
+    fn hilbert_no_worse_than_shuffled() {
+        let g = grid2d(16, 16, GridKind::FourConnected);
+        let mk = |scheme| {
+            let p = ibp_partition(&g, 8, &IbpOptions { scheme, resolution: 16 }).unwrap();
+            cut_size(&g, &p)
+        };
+        assert!(mk(IndexScheme::Hilbert) <= mk(IndexScheme::ShuffledRowMajor));
+    }
+
+    #[test]
+    fn row_major_on_grid_gives_slabs() {
+        let g = grid2d(8, 8, GridKind::FourConnected);
+        let p = ibp_partition(
+            &g,
+            2,
+            &IbpOptions {
+                scheme: IndexScheme::RowMajor,
+                resolution: 8,
+            },
+        )
+        .unwrap();
+        // Top 4 rows in one part, bottom 4 in the other: cut = 8.
+        let m = PartitionMetrics::compute(&g, &p);
+        assert_eq!(m.total_cut, 8);
+        assert_eq!(m.part_loads, vec![32, 32]);
+    }
+
+    #[test]
+    fn requires_coordinates() {
+        let g = gapart_graph::generators::gnp(20, 0.2, 1);
+        assert_eq!(
+            ibp_partition(&g, 2, &IbpOptions::default()).unwrap_err(),
+            GraphError::MissingCoordinates
+        );
+    }
+
+    #[test]
+    fn rejects_bad_part_count() {
+        let g = paper_graph(78);
+        assert!(ibp_partition(&g, 0, &IbpOptions::default()).is_err());
+        assert!(ibp_partition(&g, 100, &IbpOptions::default()).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = paper_graph(213);
+        let a = ibp_partition(&g, 8, &IbpOptions::default()).unwrap();
+        let b = ibp_partition(&g, 8, &IbpOptions::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

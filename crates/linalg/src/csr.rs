@@ -1,0 +1,178 @@
+//! Sparse symmetric matrices in compressed-sparse-row form.
+
+/// A square sparse matrix in CSR form.
+///
+/// Construction via [`CsrMatrix::from_triplets`] symmetrizes nothing — the
+/// caller supplies every nonzero explicitly (duplicate entries are summed).
+/// Graph Laplacians, being symmetric, simply list both `(i, j)` and
+/// `(j, i)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds an `n × n` matrix from `(row, col, value)` triplets.
+    /// Duplicate positions are summed; explicit zeros are kept (harmless).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn from_triplets(n: usize, triplets: &[(u32, u32, f64)]) -> Self {
+        let mut entries: Vec<(u32, u32, f64)> = triplets.to_vec();
+        for &(r, c, _) in &entries {
+            assert!((r as usize) < n && (c as usize) < n, "index out of range");
+        }
+        entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        entries.dedup_by(|cur, prev| {
+            if cur.0 == prev.0 && cur.1 == prev.1 {
+                prev.2 += cur.2;
+                true
+            } else {
+                false
+            }
+        });
+        let mut row_ptr = vec![0usize; n + 1];
+        for &(r, _, _) in &entries {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..n {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx = entries.iter().map(|&(_, c, _)| c).collect();
+        let values = entries.iter().map(|&(_, _, v)| v).collect();
+        CsrMatrix {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `y ← A x`. Panics on dimension mismatch.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "matvec: x dimension mismatch");
+        assert_eq!(y.len(), self.n, "matvec: y dimension mismatch");
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..self.n {
+            let mut acc = 0.0;
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                acc += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// Convenience allocating form of [`CsrMatrix::matvec`].
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n];
+        self.matvec(x, &mut y);
+        y
+    }
+
+    /// Entry `(i, j)`, treating missing positions as zero.
+    pub fn get(&self, i: u32, j: u32) -> f64 {
+        let r = i as usize;
+        let range = self.row_ptr[r]..self.row_ptr[r + 1];
+        match self.col_idx[range.clone()].binary_search(&j) {
+            Ok(k) => self.values[range.start + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Checks symmetry within `tol` (useful as a test/debug assertion for
+    /// Laplacian assembly).
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        for i in 0..self.n {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let j = self.col_idx[k];
+                if (self.values[k] - self.get(j, i as u32)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix {
+        // [2 -1 0; -1 2 -1; 0 -1 2]
+        CsrMatrix::from_triplets(
+            3,
+            &[
+                (0, 0, 2.0),
+                (0, 1, -1.0),
+                (1, 0, -1.0),
+                (1, 1, 2.0),
+                (1, 2, -1.0),
+                (2, 1, -1.0),
+                (2, 2, 2.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn dims_and_nnz() {
+        let a = small();
+        assert_eq!(a.dim(), 3);
+        assert_eq!(a.nnz(), 7);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = small();
+        let y = a.apply(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn duplicates_sum() {
+        let a = CsrMatrix::from_triplets(2, &[(0, 0, 1.0), (0, 0, 2.5)]);
+        assert_eq!(a.get(0, 0), 3.5);
+        assert_eq!(a.nnz(), 1);
+    }
+
+    #[test]
+    fn get_missing_is_zero() {
+        let a = small();
+        assert_eq!(a.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        assert!(small().is_symmetric(0.0));
+        let asym = CsrMatrix::from_triplets(2, &[(0, 1, 1.0)]);
+        assert!(!asym.is_symmetric(1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn rejects_out_of_range() {
+        CsrMatrix::from_triplets(2, &[(0, 2, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_rejects_bad_dims() {
+        small().matvec(&[1.0], &mut [0.0; 3]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Dense vector kernels used by the Lanczos iteration.
+
+/// Dot product. Panics if lengths differ.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y ← y + alpha * x`. Panics if lengths differ.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x ← alpha * x`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Normalizes `x` to unit length in place and returns the original norm.
+/// Leaves `x` untouched (and returns 0) for the zero vector.
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm(x);
+    if n > 0.0 {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+/// Removes from `v` its components along each (assumed orthonormal) vector
+/// in `basis`: classical Gram–Schmidt, applied twice for numerical safety
+/// ("twice is enough", Kahan–Parlett).
+pub fn orthogonalize_against(v: &mut [f64], basis: &[Vec<f64>]) {
+    for _ in 0..2 {
+        for q in basis {
+            let c = dot(v, q);
+            axpy(-c, q, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = vec![2.0, -4.0];
+        scale(0.5, &mut x);
+        assert_eq!(x, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn normalize_returns_old_norm() {
+        let mut x = vec![3.0, 4.0];
+        let n = normalize(&mut x);
+        assert_eq!(n, 5.0);
+        assert!((norm(&x) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut x = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut x), 0.0);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn orthogonalize_removes_components() {
+        let q1 = vec![1.0, 0.0, 0.0];
+        let q2 = vec![0.0, 1.0, 0.0];
+        let mut v = vec![3.0, 4.0, 5.0];
+        orthogonalize_against(&mut v, &[q1.clone(), q2.clone()]);
+        assert!(dot(&v, &q1).abs() < 1e-14);
+        assert!(dot(&v, &q2).abs() < 1e-14);
+        assert!((v[2] - 5.0).abs() < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_rejects_mismatched_lengths() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Minimal sparse linear algebra for the RSB baseline.
+//!
+//! The paper's main comparison baseline is Recursive Spectral Bisection
+//! (Pothen–Simon–Liou), which needs the second-smallest eigenpair (the
+//! Fiedler vector) of a graph Laplacian. This crate provides the required
+//! substrate from scratch:
+//!
+//! * [`dense`] — the handful of dense vector kernels Lanczos needs.
+//! * [`csr`] — a symmetric sparse matrix in CSR form with `y = Ax`.
+//! * [`tridiag`] — implicit-QL eigensolver for symmetric tridiagonal
+//!   matrices (the classic `tql2` algorithm), eigenvalues + eigenvectors.
+//! * [`lanczos`] — Lanczos iteration with full reorthogonalization and
+//!   optional deflation, returning the smallest eigenpairs of a symmetric
+//!   operator.
+//!
+//! Scope is deliberately limited to what spectral bisection needs; this is
+//! not a general linear-algebra library.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csr;
+pub mod dense;
+pub mod lanczos;
+pub mod tridiag;
+
+pub use csr::CsrMatrix;
+pub use lanczos::{lanczos_smallest, LanczosOptions, LanczosResult};

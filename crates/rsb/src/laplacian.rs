@@ -1,0 +1,75 @@
+//! Graph Laplacian assembly.
+
+use gapart_graph::CsrGraph;
+use gapart_linalg::CsrMatrix;
+
+/// Builds the weighted graph Laplacian `L = D − W`, where `W` is the
+/// (symmetric) edge-weight matrix and `D` the diagonal of weighted degrees.
+///
+/// `L` is positive semidefinite; on a connected graph its null space is
+/// spanned by the constant vector and its second-smallest eigenvector is
+/// the Fiedler vector used by spectral bisection.
+pub fn laplacian(graph: &CsrGraph) -> CsrMatrix {
+    let n = graph.num_nodes();
+    let mut triplets: Vec<(u32, u32, f64)> = Vec::with_capacity(n + graph.adjncy().len());
+    for v in 0..n as u32 {
+        let mut deg = 0.0f64;
+        for (&u, &w) in graph.neighbors(v).iter().zip(graph.edge_weights(v)) {
+            triplets.push((v, u, -(w as f64)));
+            deg += w as f64;
+        }
+        triplets.push((v, v, deg));
+    }
+    CsrMatrix::from_triplets(n, &triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gapart_graph::builder::from_edges;
+    use gapart_graph::GraphBuilder;
+
+    #[test]
+    fn path_laplacian_entries() {
+        let g = from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let l = laplacian(&g);
+        assert_eq!(l.get(0, 0), 1.0);
+        assert_eq!(l.get(1, 1), 2.0);
+        assert_eq!(l.get(0, 1), -1.0);
+        assert_eq!(l.get(0, 2), 0.0);
+        assert!(l.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn weighted_laplacian() {
+        let g = GraphBuilder::with_nodes(2)
+            .weighted_edge(0, 1, 5)
+            .build()
+            .unwrap();
+        let l = laplacian(&g);
+        assert_eq!(l.get(0, 0), 5.0);
+        assert_eq!(l.get(0, 1), -5.0);
+    }
+
+    #[test]
+    fn rows_sum_to_zero() {
+        let g = gapart_graph::generators::paper_graph(78);
+        let l = laplacian(&g);
+        let ones = vec![1.0; 78];
+        let y = l.apply(&ones);
+        for yi in y {
+            assert!(yi.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quadratic_form_counts_cut() {
+        // x ∈ {0,1}^n indicator: xᵀLx = weight of edges across the split.
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let l = laplacian(&g);
+        let x = vec![1.0, 1.0, 0.0, 0.0];
+        let lx = l.apply(&x);
+        let q: f64 = x.iter().zip(&lx).map(|(a, b)| a * b).sum();
+        assert_eq!(q, 2.0); // edges 1-2 and 3-0 are cut
+    }
+}

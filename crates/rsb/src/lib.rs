@@ -1,0 +1,58 @@
+//! Recursive Spectral Bisection — the paper's comparison baseline.
+//!
+//! RSB (Pothen, Simon & Liou; Simon '91) bisects a graph at the weighted
+//! median of its Fiedler vector (the eigenvector of the second-smallest
+//! Laplacian eigenvalue) and recurses on the halves. This crate implements:
+//!
+//! * [`laplacian()`] — Laplacian assembly from a [`gapart_graph::CsrGraph`].
+//! * [`fiedler`] — the Fiedler vector via deflated Lanczos.
+//! * [`bisect`] — median bisection and the full recursive partitioner,
+//!   supporting any part count (not just powers of two) via proportional
+//!   splits.
+//! * [`multilevel`] — Barnard–Simon-style multilevel RSB: coarsen with
+//!   heavy-edge matching, partition the coarse graph, project back, and
+//!   greedily refine boundaries at each level. This is the "prior graph
+//!   contraction step" the paper recommends for large graphs.
+//! * [`refine`] — the greedy boundary refinement shared by the multilevel
+//!   driver.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bisect;
+pub mod fiedler;
+pub mod laplacian;
+pub mod multilevel;
+pub mod refine;
+
+pub use bisect::{rsb_bisect, rsb_partition, RsbOptions};
+pub use fiedler::fiedler_vector;
+pub use laplacian::laplacian;
+pub use multilevel::multilevel_rsb;
+
+/// Errors from the spectral partitioning pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RsbError {
+    /// The eigensolver failed to produce a usable Fiedler vector.
+    Eigensolver(String),
+    /// `num_parts` was zero or exceeded the node count.
+    BadPartCount {
+        /// Requested number of parts.
+        num_parts: u32,
+        /// Number of nodes available.
+        num_nodes: usize,
+    },
+}
+
+impl std::fmt::Display for RsbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RsbError::Eigensolver(msg) => write!(f, "eigensolver failure: {msg}"),
+            RsbError::BadPartCount { num_parts, num_nodes } => {
+                write!(f, "cannot split {num_nodes} nodes into {num_parts} parts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RsbError {}

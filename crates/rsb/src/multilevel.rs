@@ -1,0 +1,148 @@
+//! Multilevel RSB (Barnard & Simon '92) — the "prior graph contraction
+//! step" the paper recommends before partitioning large graphs.
+
+use crate::bisect::{rsb_partition, RsbOptions};
+use crate::refine::greedy_refine;
+use crate::RsbError;
+use gapart_graph::coarsen::coarsen_to;
+use gapart_graph::{CsrGraph, Partition};
+
+/// Options for [`multilevel_rsb`].
+#[derive(Debug, Clone)]
+pub struct MultilevelOptions {
+    /// Stop coarsening once the graph has at most this many nodes.
+    pub coarsen_target: usize,
+    /// Balance slack passed to the per-level refinement.
+    pub balance_slack: f64,
+    /// Refinement passes per level.
+    pub refine_passes: usize,
+    /// Seed for coarsening and the spectral solves.
+    pub seed: u64,
+}
+
+impl Default for MultilevelOptions {
+    fn default() -> Self {
+        MultilevelOptions {
+            coarsen_target: 64,
+            balance_slack: 0.05,
+            refine_passes: 4,
+            seed: 0x4d4c_5253, // "MLRS"
+        }
+    }
+}
+
+/// Partitions `graph` into `num_parts` parts by coarsening with heavy-edge
+/// matching, running plain RSB on the coarsest graph, then projecting back
+/// level by level with greedy boundary refinement after each projection.
+///
+/// For graphs already at or below `coarsen_target` nodes this degenerates
+/// to plain RSB plus one refinement pass.
+///
+/// # Errors
+///
+/// Same error conditions as [`rsb_partition`].
+pub fn multilevel_rsb(
+    graph: &CsrGraph,
+    num_parts: u32,
+    opts: &MultilevelOptions,
+) -> Result<Partition, RsbError> {
+    let n = graph.num_nodes();
+    if num_parts == 0 || num_parts as usize > n {
+        return Err(RsbError::BadPartCount {
+            num_parts,
+            num_nodes: n,
+        });
+    }
+    // Never coarsen below the part count.
+    let target = opts.coarsen_target.max(num_parts as usize * 2);
+    let levels = coarsen_to(graph, target, opts.seed);
+    let rsb_opts = RsbOptions { seed: opts.seed };
+
+    let coarsest_graph = levels.last().map_or(graph, |l| &l.coarse);
+    let mut partition = rsb_partition(coarsest_graph, num_parts, &rsb_opts)?;
+    greedy_refine(
+        coarsest_graph,
+        &mut partition,
+        opts.balance_slack,
+        opts.refine_passes,
+    );
+
+    // Uncoarsen: project through each level, refining on the finer graph.
+    for (i, level) in levels.iter().enumerate().rev() {
+        partition = level.project(&partition);
+        let fine_graph = if i == 0 { graph } else { &levels[i - 1].coarse };
+        greedy_refine(
+            fine_graph,
+            &mut partition,
+            opts.balance_slack,
+            opts.refine_passes,
+        );
+    }
+    Ok(partition)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gapart_graph::generators::{jittered_mesh, paper_graph};
+    use gapart_graph::partition::PartitionMetrics;
+
+    #[test]
+    fn small_graph_degenerates_to_rsb_quality() {
+        let g = paper_graph(144);
+        let p = multilevel_rsb(&g, 4, &MultilevelOptions::default()).unwrap();
+        let m = PartitionMetrics::compute(&g, &p);
+        assert_eq!(m.part_loads.iter().sum::<u64>(), 144);
+        assert!(m.total_cut > 0);
+    }
+
+    #[test]
+    fn large_mesh_is_partitioned_with_bounded_imbalance() {
+        let g = jittered_mesh(2000, 11);
+        let opts = MultilevelOptions::default();
+        let p = multilevel_rsb(&g, 8, &opts).unwrap();
+        let m = PartitionMetrics::compute(&g, &p);
+        let cap = (m.avg_load * (1.0 + opts.balance_slack)).ceil() as u64;
+        for &l in &m.part_loads {
+            assert!(l <= cap + 1, "load {l} vs cap {cap}");
+        }
+        // Mesh bisection-width heuristic: 8-way cut of a 2000-node mesh
+        // should be well under 10% of edges.
+        assert!(
+            (m.total_cut as f64) < g.num_edges() as f64 * 0.15,
+            "cut {} of {} edges",
+            m.total_cut,
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn comparable_to_flat_rsb_on_medium_mesh() {
+        let g = jittered_mesh(600, 3);
+        let flat = rsb_partition(&g, 4, &RsbOptions::default()).unwrap();
+        let ml = multilevel_rsb(&g, 4, &MultilevelOptions::default()).unwrap();
+        let mf = PartitionMetrics::compute(&g, &flat);
+        let mm = PartitionMetrics::compute(&g, &ml);
+        // Multilevel should be in the same quality class (within 2x).
+        assert!(
+            mm.total_cut <= mf.total_cut * 2,
+            "multilevel {} vs flat {}",
+            mm.total_cut,
+            mf.total_cut
+        );
+    }
+
+    #[test]
+    fn rejects_bad_part_counts() {
+        let g = paper_graph(78);
+        assert!(multilevel_rsb(&g, 0, &MultilevelOptions::default()).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = paper_graph(213);
+        let a = multilevel_rsb(&g, 8, &MultilevelOptions::default()).unwrap();
+        let b = multilevel_rsb(&g, 8, &MultilevelOptions::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,154 @@
+//! Greedy boundary refinement.
+//!
+//! A light Kernighan–Lin-flavoured pass used by multilevel RSB after each
+//! projection: repeatedly move the boundary vertex with the best gain
+//! (cut-weight reduction) to a neighbouring part, provided the move does
+//! not push load imbalance past a tolerance. Distinct from the GA's
+//! fitness-driven hill climbing in `gapart-core` — this one is the
+//! classical cut/balance heuristic that multilevel partitioners use.
+
+use gapart_graph::{CsrGraph, Partition};
+
+/// Outcome of a refinement pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefineStats {
+    /// Number of vertices moved.
+    pub moves: usize,
+    /// Total cut-weight reduction achieved.
+    pub gain: u64,
+}
+
+/// Refines `partition` in place. `balance_slack` is the allowed deviation
+/// of any part's load from the ideal average, as a fraction (e.g. `0.05`
+/// allows 5% overweight parts). Runs passes until no improving move
+/// remains or `max_passes` is hit.
+pub fn greedy_refine(
+    graph: &CsrGraph,
+    partition: &mut Partition,
+    balance_slack: f64,
+    max_passes: usize,
+) -> RefineStats {
+    assert_eq!(graph.num_nodes(), partition.num_nodes());
+    let n_parts = partition.num_parts() as usize;
+    let avg = graph.total_node_weight() as f64 / n_parts as f64;
+    let max_load = (avg * (1.0 + balance_slack)).ceil() as u64;
+
+    let mut loads = vec![0u64; n_parts];
+    for v in 0..graph.num_nodes() as u32 {
+        loads[partition.part(v) as usize] += graph.node_weight(v) as u64;
+    }
+
+    let mut stats = RefineStats { moves: 0, gain: 0 };
+    for _ in 0..max_passes {
+        let mut moved_this_pass = false;
+        for v in 0..graph.num_nodes() as u32 {
+            let pv = partition.part(v);
+            // Connectivity of v to each part it touches.
+            let mut conn: Vec<(u32, u64)> = Vec::with_capacity(4);
+            let mut internal = 0u64;
+            for (&u, &w) in graph.neighbors(v).iter().zip(graph.edge_weights(v)) {
+                let pu = partition.part(u);
+                if pu == pv {
+                    internal += w as u64;
+                } else {
+                    match conn.iter_mut().find(|(p, _)| *p == pu) {
+                        Some((_, c)) => *c += w as u64,
+                        None => conn.push((pu, w as u64)),
+                    }
+                }
+            }
+            // Best strictly-improving, balance-respecting move.
+            let wv = graph.node_weight(v) as u64;
+            let mut best: Option<(u32, u64)> = None;
+            for &(p, c) in &conn {
+                if c > internal
+                    && loads[p as usize] + wv <= max_load
+                    && best.is_none_or(|(_, bc)| c > bc)
+                {
+                    best = Some((p, c));
+                }
+            }
+            if let Some((p, c)) = best {
+                loads[pv as usize] -= wv;
+                loads[p as usize] += wv;
+                partition.set(v, p);
+                stats.moves += 1;
+                stats.gain += c - internal;
+                moved_this_pass = true;
+            }
+        }
+        if !moved_this_pass {
+            break;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gapart_graph::builder::from_edges;
+    use gapart_graph::generators::paper_graph;
+    use gapart_graph::partition::{cut_size, PartitionMetrics};
+    use gapart_graph::Partition;
+
+    #[test]
+    fn fixes_an_obviously_misplaced_vertex() {
+        // Path 0-1-2-3; put 1 in the wrong half.
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mut p = Partition::new(vec![0, 1, 1, 1], 2).unwrap();
+        // Moving 1 → 0 is blocked by balance (would be 2-2: fine), and
+        // reduces cut from 1? Initial cut: edge 0-1 = 1. Moving 1 to part 0
+        // gives cut edge 1-2 = 1 — no strict gain. Instead misplace 0.
+        let mut p2 = Partition::new(vec![1, 0, 1, 1], 2).unwrap();
+        let before = cut_size(&g, &p2);
+        let stats = greedy_refine(&g, &mut p2, 0.6, 4);
+        let after = cut_size(&g, &p2);
+        assert!(after < before, "no improvement: {before} -> {after}");
+        assert_eq!(before - after, stats.gain);
+        // Original partition should remain untouched by a no-gain pass.
+        let s = greedy_refine(&g, &mut p, 0.0, 4);
+        assert_eq!(s.moves, 0);
+    }
+
+    #[test]
+    fn never_increases_cut() {
+        let g = paper_graph(139);
+        for seed in 0..3u64 {
+            let mut p = random_partition(139, 4, seed);
+            let before = cut_size(&g, &p);
+            greedy_refine(&g, &mut p, 0.1, 8);
+            let after = cut_size(&g, &p);
+            assert!(after <= before, "cut increased {before} -> {after}");
+        }
+    }
+
+    #[test]
+    fn respects_balance_slack() {
+        let g = paper_graph(144);
+        let mut p = random_partition(144, 4, 9);
+        greedy_refine(&g, &mut p, 0.05, 8);
+        let m = PartitionMetrics::compute(&g, &p);
+        let cap = (m.avg_load * 1.05).ceil() as u64;
+        for &l in &m.part_loads {
+            assert!(l <= cap, "load {l} exceeds cap {cap}");
+        }
+    }
+
+    #[test]
+    fn gain_matches_cut_delta() {
+        let g = paper_graph(98);
+        let mut p = random_partition(98, 8, 4);
+        let before = cut_size(&g, &p);
+        let stats = greedy_refine(&g, &mut p, 0.2, 10);
+        let after = cut_size(&g, &p);
+        assert_eq!(before - after, stats.gain);
+    }
+
+    fn random_partition(n: usize, parts: u32, seed: u64) -> Partition {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        Partition::new((0..n).map(|_| rng.gen_range(0..parts)).collect(), parts).unwrap()
+    }
+}

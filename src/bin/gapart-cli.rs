@@ -1,0 +1,25 @@
+//! `gapart-cli` — command-line front end for the gapart partitioners.
+//!
+//! See `gapart-cli help` (or [`gapart::cli::USAGE`]) for the subcommands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match gapart::cli::parse_args(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}\n\n{}", gapart::cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match gapart::cli::run(&parsed) {
+        Ok(output) => print!("{output}"),
+        Err(gapart::cli::CliError::Usage(m)) => {
+            eprintln!("usage error: {m}\n\n{}", gapart::cli::USAGE);
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

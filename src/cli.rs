@@ -1,0 +1,604 @@
+//! Implementation of the `gapart-cli` command-line tool.
+//!
+//! Kept in the library (rather than the binary) so the argument parser
+//! and command logic are unit-testable. The binary in `src/bin` is a
+//! thin wrapper around [`run`].
+//!
+//! Subcommands:
+//!
+//! * `gen`        — generate a graph (mesh / grid / geometric / gnp) to
+//!   METIS format plus an optional coordinate file.
+//! * `info`       — print graph statistics.
+//! * `partition`  — partition with `dpga` (default), `ga`, `rsb`,
+//!   `mlrsb`, or `ibp`; writes one part label per line.
+//! * `eval`       — score an existing partition file.
+//! * `grow`       — apply the paper's incremental local growth.
+
+use crate::core::incremental::incremental_ga;
+use crate::core::{
+    CrossoverOp, DpgaConfig, DpgaEngine, FitnessKind, GaConfig, GaEngine, HillClimbMode,
+};
+use crate::graph::generators::{gnp, grid2d, jittered_mesh, random_geometric, GridKind};
+use crate::graph::geometry::Point2;
+use crate::graph::incremental::grow_local;
+use crate::graph::io::{coords_from_text, coords_to_text, from_metis, to_metis};
+use crate::graph::partition::{Partition, PartitionMetrics};
+use crate::graph::CsrGraph;
+use crate::ibp::{ibp_partition, IbpOptions};
+use crate::rsb::{multilevel_rsb, rsb_partition, RsbOptions};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed command line: positional arguments and `--key value` flags.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Args {
+    /// Positional arguments in order (subcommand first).
+    pub positional: Vec<String>,
+    /// `--key value` options (keys without the `--`).
+    pub flags: BTreeMap<String, String>,
+}
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line (message explains; usage should be printed).
+    Usage(String),
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// Anything the library layers rejected.
+    Failed(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Failed(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Parses raw arguments (excluding `argv[0]`) into [`Args`].
+///
+/// Grammar: anything starting with `--` is a flag and consumes the next
+/// token as its value; everything else is positional.
+pub fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, CliError> {
+    let mut args = Args::default();
+    let mut it = argv.into_iter();
+    while let Some(tok) = it.next() {
+        if let Some(key) = tok.strip_prefix("--") {
+            let value = it.next().ok_or_else(|| {
+                CliError::Usage(format!("flag --{key} expects a value"))
+            })?;
+            if args.flags.insert(key.to_string(), value).is_some() {
+                return Err(CliError::Usage(format!("flag --{key} given twice")));
+            }
+        } else {
+            args.positional.push(tok);
+        }
+    }
+    Ok(args)
+}
+
+impl Args {
+    fn flag(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    fn flag_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.flag(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{key} {v}: cannot parse"))),
+        }
+    }
+
+    fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.flag(key)
+            .ok_or_else(|| CliError::Usage(format!("missing required flag --{key}")))
+    }
+}
+
+/// The usage text printed on `help` or a usage error.
+pub const USAGE: &str = "\
+gapart-cli — GA graph partitioning (Maini et al., SC'94)
+
+USAGE:
+  gapart-cli gen --kind mesh|grid|geometric|gnp --nodes N [--seed S]
+             --out g.metis [--coords-out g.xy]
+  gapart-cli info GRAPH.metis
+  gapart-cli partition GRAPH.metis --parts P [--method dpga|ga|rsb|mlrsb|ibp]
+             [--fitness total|worst] [--gens G] [--pop SIZE] [--seed S]
+             [--coords G.xy] [--out labels.part] [--svg view.svg]
+  gapart-cli eval GRAPH.metis LABELS.part --parts P [--coords G.xy]
+             [--svg view.svg]
+  gapart-cli grow GRAPH.metis --coords G.xy --add K [--seed S]
+             --out grown.metis [--coords-out grown.xy]
+             [--repartition P] [--old-labels labels.part]
+";
+
+/// Executes a parsed command, returning the text to print.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let Some(cmd) = args.positional.first() else {
+        return Err(CliError::Usage("no subcommand given".into()));
+    };
+    match cmd.as_str() {
+        "gen" => cmd_gen(args),
+        "info" => cmd_info(args),
+        "partition" => cmd_partition(args),
+        "eval" => cmd_eval(args),
+        "grow" => cmd_grow(args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
+    }
+}
+
+fn load_graph(path: &str, coords_path: Option<&str>) -> Result<CsrGraph, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let mut g = from_metis(&text).map_err(|e| CliError::Failed(format!("{path}: {e}")))?;
+    if let Some(cp) = coords_path {
+        let ctext = std::fs::read_to_string(cp)?;
+        let coords =
+            coords_from_text(&ctext).map_err(|e| CliError::Failed(format!("{cp}: {e}")))?;
+        if coords.len() != g.num_nodes() {
+            return Err(CliError::Failed(format!(
+                "{cp}: {} coordinates for {} nodes",
+                coords.len(),
+                g.num_nodes()
+            )));
+        }
+        g = rebuild_with_coords(&g, coords)?;
+    }
+    Ok(g)
+}
+
+/// Rebuilds a graph with coordinates attached (CsrGraph is immutable).
+fn rebuild_with_coords(g: &CsrGraph, coords: Vec<Point2>) -> Result<CsrGraph, CliError> {
+    let mut b = crate::graph::GraphBuilder::with_nodes(g.num_nodes());
+    for (u, v, w) in g.edges() {
+        b.push_edge(u, v, w);
+    }
+    b.node_weights(g.node_weights().to_vec())
+        .coords(coords)
+        .build()
+        .map_err(|e| CliError::Failed(e.to_string()))
+}
+
+fn save_labels(path: &str, p: &Partition) -> Result<(), CliError> {
+    let mut out = String::with_capacity(p.num_nodes() * 2);
+    for &l in p.labels() {
+        let _ = writeln!(out, "{l}");
+    }
+    std::fs::write(path, out)?;
+    Ok(())
+}
+
+/// Parses a partition file: one label per line, `%` comments allowed.
+pub fn labels_from_text(text: &str, num_parts: u32) -> Result<Partition, CliError> {
+    let mut labels = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let l: u32 = line
+            .parse()
+            .map_err(|_| CliError::Failed(format!("line {}: bad label '{line}'", i + 1)))?;
+        labels.push(l);
+    }
+    Partition::new(labels, num_parts).map_err(|e| CliError::Failed(e.to_string()))
+}
+
+fn cmd_gen(args: &Args) -> Result<String, CliError> {
+    let kind = args.require("kind")?;
+    let n: usize = args.flag_parse("nodes", 0)?;
+    if n == 0 {
+        return Err(CliError::Usage("--nodes must be positive".into()));
+    }
+    let seed: u64 = args.flag_parse("seed", 42u64)?;
+    let graph = match kind {
+        "mesh" => jittered_mesh(n, seed),
+        "grid" => {
+            let side = (n as f64).sqrt().round() as usize;
+            grid2d(side.max(1), side.max(1), GridKind::Triangulated)
+        }
+        "geometric" => {
+            let radius: f64 = args.flag_parse("radius", 1.5 / (n as f64).sqrt())?;
+            random_geometric(n, radius, seed)
+        }
+        "gnp" => {
+            let p: f64 = args.flag_parse("p", 0.05)?;
+            gnp(n, p, seed)
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "--kind {other}: expected mesh|grid|geometric|gnp"
+            )))
+        }
+    };
+    let out = args.require("out")?;
+    std::fs::write(out, to_metis(&graph))?;
+    let mut report = format!(
+        "wrote {out}: {} nodes, {} edges\n",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    if let Some(coords_out) = args.flag("coords-out") {
+        match graph.coords() {
+            Some(c) => {
+                std::fs::write(coords_out, coords_to_text(c))?;
+                let _ = writeln!(report, "wrote {coords_out}: {} coordinates", c.len());
+            }
+            None => {
+                let _ = writeln!(report, "note: {kind} graphs have no coordinates; skipped {coords_out}");
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn cmd_info(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or_else(|| CliError::Usage("info needs a graph file".into()))?;
+    let g = load_graph(path, args.flag("coords"))?;
+    let (_, components) = crate::graph::traversal::connected_components(&g);
+    let mut out = String::new();
+    let _ = writeln!(out, "file        : {path}");
+    let _ = writeln!(out, "nodes       : {}", g.num_nodes());
+    let _ = writeln!(out, "edges       : {}", g.num_edges());
+    let _ = writeln!(out, "avg degree  : {:.2}", g.avg_degree());
+    let _ = writeln!(out, "max degree  : {}", g.max_degree());
+    let _ = writeln!(out, "components  : {components}");
+    let _ = writeln!(out, "total weight: {}", g.total_node_weight());
+    let _ = writeln!(out, "coordinates : {}", if g.coords().is_some() { "yes" } else { "no" });
+    Ok(out)
+}
+
+fn cmd_partition(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or_else(|| CliError::Usage("partition needs a graph file".into()))?;
+    let parts: u32 = args.flag_parse("parts", 0u32)?;
+    if parts == 0 {
+        return Err(CliError::Usage("--parts must be positive".into()));
+    }
+    let graph = load_graph(path, args.flag("coords"))?;
+    let method = args.flag("method").unwrap_or("dpga");
+    let fitness = match args.flag("fitness").unwrap_or("total") {
+        "total" => FitnessKind::TotalCut,
+        "worst" => FitnessKind::WorstCut,
+        other => {
+            return Err(CliError::Usage(format!(
+                "--fitness {other}: expected total|worst"
+            )))
+        }
+    };
+    let gens: usize = args.flag_parse("gens", 150usize)?;
+    let pop: usize = args.flag_parse("pop", 320usize)?;
+    let seed: u64 = args.flag_parse("seed", 0x5343_3934u64)?;
+
+    let partition = match method {
+        "rsb" => rsb_partition(&graph, parts, &RsbOptions { seed })
+            .map_err(|e| CliError::Failed(e.to_string()))?,
+        "mlrsb" => {
+            let opts = crate::rsb::multilevel::MultilevelOptions {
+                seed,
+                ..Default::default()
+            };
+            multilevel_rsb(&graph, parts, &opts).map_err(|e| CliError::Failed(e.to_string()))?
+        }
+        "ibp" => ibp_partition(&graph, parts, &IbpOptions::default())
+            .map_err(|e| CliError::Failed(e.to_string()))?,
+        "ga" => {
+            let mut config = GaConfig::paper_defaults(parts)
+                .with_fitness(fitness)
+                .with_population_size(pop)
+                .with_generations(gens)
+                .with_hill_climb(HillClimbMode::Offspring { passes: 1 })
+                .with_seed(seed);
+            config.boundary_mutation_rate = 0.05;
+            config.crossover = CrossoverOp::Dknux;
+            GaEngine::new(&graph, config)
+                .map_err(|e| CliError::Failed(e.to_string()))?
+                .run()
+                .best_partition
+        }
+        "dpga" => {
+            let mut base = GaConfig::paper_defaults(parts)
+                .with_fitness(fitness)
+                .with_population_size(pop)
+                .with_generations(gens)
+                .with_hill_climb(HillClimbMode::Offspring { passes: 1 })
+                .with_seed(seed);
+            base.boundary_mutation_rate = 0.05;
+            let config = DpgaConfig::paper(parts).with_base(base);
+            DpgaEngine::new(&graph, config)
+                .map_err(|e| CliError::Failed(e.to_string()))?
+                .run()
+                .best_partition
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "--method {other}: expected dpga|ga|rsb|mlrsb|ibp"
+            )))
+        }
+    };
+
+    let mut out = render_metrics(&graph, &partition, method);
+    if let Some(out_path) = args.flag("out") {
+        save_labels(out_path, &partition)?;
+        let _ = writeln!(out, "labels written to {out_path}");
+    }
+    if let Some(svg_path) = args.flag("svg") {
+        save_svg(svg_path, &graph, &partition)?;
+        let _ = writeln!(out, "svg written to {svg_path}");
+    }
+    Ok(out)
+}
+
+fn save_svg(
+    path: &str,
+    graph: &CsrGraph,
+    partition: &Partition,
+) -> Result<(), CliError> {
+    let svg = crate::graph::svg::render_partition(
+        graph,
+        partition,
+        &crate::graph::svg::SvgOptions::default(),
+    )
+    .map_err(|e| CliError::Failed(format!("svg: {e} (pass --coords for METIS inputs)")))?;
+    std::fs::write(path, svg)?;
+    Ok(())
+}
+
+fn cmd_eval(args: &Args) -> Result<String, CliError> {
+    let gpath = args
+        .positional
+        .get(1)
+        .ok_or_else(|| CliError::Usage("eval needs a graph file".into()))?;
+    let lpath = args
+        .positional
+        .get(2)
+        .ok_or_else(|| CliError::Usage("eval needs a labels file".into()))?;
+    let parts: u32 = args.flag_parse("parts", 0u32)?;
+    if parts == 0 {
+        return Err(CliError::Usage("--parts must be positive".into()));
+    }
+    let graph = load_graph(gpath, args.flag("coords"))?;
+    let ltext = std::fs::read_to_string(lpath)?;
+    let partition = labels_from_text(&ltext, parts)?;
+    if partition.num_nodes() != graph.num_nodes() {
+        return Err(CliError::Failed(format!(
+            "{lpath}: {} labels for {} nodes",
+            partition.num_nodes(),
+            graph.num_nodes()
+        )));
+    }
+    let mut out = render_metrics(&graph, &partition, "eval");
+    if let Some(svg_path) = args.flag("svg") {
+        save_svg(svg_path, &graph, &partition)?;
+        let _ = writeln!(out, "svg written to {svg_path}");
+    }
+    Ok(out)
+}
+
+fn cmd_grow(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or_else(|| CliError::Usage("grow needs a graph file".into()))?;
+    let coords = args.require("coords")?;
+    let k: usize = args.flag_parse("add", 0usize)?;
+    let seed: u64 = args.flag_parse("seed", 7u64)?;
+    let graph = load_graph(path, Some(coords))?;
+    let result = grow_local(&graph, k, seed).map_err(|e| CliError::Failed(e.to_string()))?;
+
+    let out = args.require("out")?;
+    std::fs::write(out, to_metis(&result.graph))?;
+    let mut report = format!(
+        "grew {} -> {} nodes (anchor {}), wrote {out}\n",
+        graph.num_nodes(),
+        result.graph.num_nodes(),
+        result.anchor
+    );
+    if let Some(co) = args.flag("coords-out") {
+        std::fs::write(
+            co,
+            coords_to_text(result.graph.coords().expect("grown graphs keep coords")),
+        )?;
+        let _ = writeln!(report, "coordinates written to {co}");
+    }
+
+    // Optional: incrementally repartition the grown graph.
+    if let Some(p) = args.flag("repartition") {
+        let parts: u32 = p
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--repartition {p}: bad part count")))?;
+        let old = match args.flag("old-labels") {
+            Some(lp) => {
+                let text = std::fs::read_to_string(lp)?;
+                labels_from_text(&text, parts)?
+            }
+            None => rsb_partition(&graph, parts, &RsbOptions::default())
+                .map_err(|e| CliError::Failed(e.to_string()))?,
+        };
+        let config = GaConfig::paper_defaults(parts)
+            .with_generations(args.flag_parse("gens", 120usize)?)
+            .with_population_size(args.flag_parse("pop", 160usize)?)
+            .with_seed(seed);
+        let res = incremental_ga(&result.graph, &old, config)
+            .map_err(|e| CliError::Failed(e.to_string()))?;
+        report.push_str(&render_metrics(&result.graph, &res.best_partition, "incremental-ga"));
+        if let Some(out_labels) = args.flag("labels-out") {
+            save_labels(out_labels, &res.best_partition)?;
+            let _ = writeln!(report, "new labels written to {out_labels}");
+        }
+    }
+    Ok(report)
+}
+
+fn render_metrics(graph: &CsrGraph, partition: &Partition, method: &str) -> String {
+    let m = PartitionMetrics::compute(graph, partition);
+    let mut out = String::new();
+    let _ = writeln!(out, "method     : {method}");
+    let _ = writeln!(out, "parts      : {}", partition.num_parts());
+    let _ = writeln!(out, "total cut  : {}", m.total_cut);
+    let _ = writeln!(out, "worst cut  : {}", m.max_cut);
+    let _ = writeln!(out, "imbalance  : {:.2}", m.imbalance);
+    let _ = writeln!(out, "part loads : {:?}", m.part_loads);
+    let _ = writeln!(out, "part cuts  : {:?}", m.part_cuts);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Args {
+        parse_args(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn parser_splits_flags_and_positionals() {
+        let a = argv("partition g.metis --parts 4 --method rsb");
+        assert_eq!(a.positional, vec!["partition", "g.metis"]);
+        assert_eq!(a.flag("parts"), Some("4"));
+        assert_eq!(a.flag("method"), Some("rsb"));
+    }
+
+    #[test]
+    fn parser_rejects_missing_value() {
+        let err = parse_args(["gen".into(), "--kind".into()]).unwrap_err();
+        assert!(err.to_string().contains("--kind"));
+    }
+
+    #[test]
+    fn parser_rejects_duplicate_flags() {
+        let err =
+            parse_args("x --a 1 --a 2".split_whitespace().map(String::from)).unwrap_err();
+        assert!(err.to_string().contains("twice"));
+    }
+
+    #[test]
+    fn unknown_subcommand_is_usage_error() {
+        let err = run(&argv("frobnicate")).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&argv("help")).unwrap();
+        assert!(out.contains("gapart-cli"));
+        assert!(out.contains("partition"));
+    }
+
+    #[test]
+    fn labels_parse_and_validate() {
+        let p = labels_from_text("0\n1\n% comment\n2\n", 3).unwrap();
+        assert_eq!(p.labels(), &[0, 1, 2]);
+        assert!(labels_from_text("0\n7\n", 3).is_err());
+        assert!(labels_from_text("zebra\n", 3).is_err());
+    }
+
+    #[test]
+    fn end_to_end_gen_info_partition_eval() {
+        let dir = std::env::temp_dir().join(format!("gapart-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = dir.join("g.metis");
+        let xy = dir.join("g.xy");
+        let labels = dir.join("g.part");
+        let gs = g.to_str().unwrap();
+        let xys = xy.to_str().unwrap();
+        let ls = labels.to_str().unwrap();
+
+        // gen
+        let out = run(&argv(&format!(
+            "gen --kind mesh --nodes 60 --seed 5 --out {gs} --coords-out {xys}"
+        )))
+        .unwrap();
+        assert!(out.contains("60 nodes"));
+
+        // info
+        let out = run(&argv(&format!("info {gs}"))).unwrap();
+        assert!(out.contains("nodes       : 60"));
+        assert!(out.contains("components  : 1"));
+
+        // partition with RSB (fast, deterministic), with an SVG view
+        let svg = dir.join("g.svg");
+        let out = run(&argv(&format!(
+            "partition {gs} --parts 4 --method rsb --coords {xys} --out {ls} --svg {}",
+            svg.to_str().unwrap()
+        )))
+        .unwrap();
+        assert!(out.contains("total cut"));
+        assert!(out.contains("svg written"));
+        let svg_text = std::fs::read_to_string(&svg).unwrap();
+        assert!(svg_text.starts_with("<svg"));
+        assert_eq!(svg_text.matches("<circle").count(), 60);
+
+        // eval the written labels
+        let out = run(&argv(&format!("eval {gs} {ls} --parts 4"))).unwrap();
+        assert!(out.contains("part loads"));
+
+        // ibp needs coordinates
+        let out = run(&argv(&format!(
+            "partition {gs} --parts 4 --method ibp --coords {xys}"
+        )))
+        .unwrap();
+        assert!(out.contains("method     : ibp"));
+
+        // grow
+        let g2 = dir.join("g2.metis");
+        let xy2 = dir.join("g2.xy");
+        let out = run(&argv(&format!(
+            "grow {gs} --coords {xys} --add 10 --out {} --coords-out {}",
+            g2.to_str().unwrap(),
+            xy2.to_str().unwrap()
+        )))
+        .unwrap();
+        assert!(out.contains("60 -> 70 nodes"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn eval_rejects_wrong_label_count() {
+        let dir = std::env::temp_dir().join(format!("gapart-cli-test2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = dir.join("g.metis");
+        let l = dir.join("bad.part");
+        run(&argv(&format!(
+            "gen --kind mesh --nodes 20 --out {}",
+            g.to_str().unwrap()
+        )))
+        .unwrap();
+        std::fs::write(&l, "0\n1\n").unwrap();
+        let err = run(&argv(&format!(
+            "eval {} {} --parts 2",
+            g.to_str().unwrap(),
+            l.to_str().unwrap()
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("labels for"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gen_rejects_bad_kind_and_missing_nodes() {
+        assert!(run(&argv("gen --kind blob --nodes 5 --out /tmp/x")).is_err());
+        assert!(run(&argv("gen --kind mesh --out /tmp/x")).is_err());
+    }
+}
