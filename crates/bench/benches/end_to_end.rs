@@ -3,12 +3,10 @@
 //! within one machine), and the incremental pipeline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gapart_core::dpga::MigrationPolicy;
 use gapart_core::incremental::incremental_ga;
 use gapart_core::population::InitStrategy;
-use gapart_core::dpga::MigrationPolicy;
-use gapart_core::{
-    CrossoverOp, DpgaConfig, DpgaEngine, GaConfig, GaEngine, Topology,
-};
+use gapart_core::{CrossoverOp, DpgaConfig, DpgaEngine, GaConfig, GaEngine, Topology};
 use gapart_graph::generators::paper_graph;
 use gapart_graph::incremental::grow_local;
 use gapart_rsb::{rsb_partition, RsbOptions};
@@ -42,23 +40,27 @@ fn dpga_parallel_vs_sequential(c: &mut Criterion) {
     let mut group = c.benchmark_group("dpga_16subpops_10gens_309n");
     group.sample_size(10);
     for (label, parallel) in [("parallel", true), ("sequential", false)] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &parallel, |bench, &par| {
-            bench.iter(|| {
-                let config = DpgaConfig {
-                    base: GaConfig::paper_defaults(8)
-                        .with_population_size(320)
-                        .with_generations(10)
-                        .with_seed(2),
-                    topology: Topology::Hypercube(4),
-                    migration_interval: 5,
-                    num_migrants: 2,
-                    migration_policy: MigrationPolicy::Best,
-                    parallel: par,
-                    init_overrides: None,
-                };
-                DpgaEngine::new(&graph, config).unwrap().run()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &parallel,
+            |bench, &par| {
+                bench.iter(|| {
+                    let config = DpgaConfig {
+                        base: GaConfig::paper_defaults(8)
+                            .with_population_size(320)
+                            .with_generations(10)
+                            .with_seed(2),
+                        topology: Topology::Hypercube(4),
+                        migration_interval: 5,
+                        num_migrants: 2,
+                        migration_policy: MigrationPolicy::Best,
+                        parallel: par,
+                        init_overrides: None,
+                    };
+                    DpgaEngine::new(&graph, config).unwrap().run()
+                })
+            },
+        );
     }
     group.finish();
 }

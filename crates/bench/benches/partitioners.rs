@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gapart_graph::generators::{jittered_mesh, paper_graph};
 use gapart_graph::Partition;
-use gapart_ibp::{ibp_partition, IbpOptions};
 use gapart_ibp::index::IndexScheme;
+use gapart_ibp::{ibp_partition, IbpOptions};
 use gapart_rsb::multilevel::MultilevelOptions;
 use gapart_rsb::refine::greedy_refine;
 use gapart_rsb::{multilevel_rsb, rsb_partition, RsbOptions};
@@ -50,6 +50,40 @@ fn ibp(c: &mut Criterion) {
     group.finish();
 }
 
+/// All five algorithms through the unified `Partitioner` trait — the same
+/// dispatch path the CLI and the table binaries use. GA/DPGA run with a
+/// small budget so the group finishes in seconds.
+fn unified_trait_dispatch(c: &mut Criterion) {
+    use gapart_core::GaConfig;
+    use gapart_graph::partitioner::Partitioner;
+
+    let graph = paper_graph(167);
+    let mut group = c.benchmark_group("trait_dispatch_167n_4parts");
+    group.sample_size(10);
+    for name in gapart::partitioners::NAMES {
+        let p: Box<dyn Partitioner> = match name {
+            "ga" => gapart::partitioners::tuned_ga(
+                GaConfig::paper_defaults(4)
+                    .with_population_size(32)
+                    .with_generations(10),
+            ),
+            "dpga" => {
+                let mut cfg = gapart_core::DpgaConfig::paper(4);
+                cfg.topology = gapart_core::Topology::Hypercube(2);
+                cfg.base = GaConfig::paper_defaults(4)
+                    .with_population_size(32)
+                    .with_generations(10);
+                gapart::partitioners::tuned_dpga(cfg)
+            }
+            other => gapart::partitioners::by_name(other).expect("registered"),
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &p, |bench, p| {
+            bench.iter(|| p.partition(&graph, 4, 42).unwrap())
+        });
+    }
+    group.finish();
+}
+
 fn refinement(c: &mut Criterion) {
     let graph = paper_graph(309);
     let mut group = c.benchmark_group("greedy_refine_309n");
@@ -69,6 +103,6 @@ criterion_group! {
     config = Criterion::default()
         .measurement_time(std::time::Duration::from_secs(3))
         .warm_up_time(std::time::Duration::from_millis(400));
-    targets = rsb, multilevel, ibp, refinement
+    targets = rsb, multilevel, ibp, unified_trait_dispatch, refinement
 }
 criterion_main!(benches);

@@ -30,8 +30,13 @@ fn spectral(c: &mut Criterion) {
         let ones = vec![1.0 / (n as f64).sqrt(); n];
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
             bench.iter(|| {
-                lanczos_smallest_csr(&l, 1, std::slice::from_ref(&ones), &LanczosOptions::default())
-                    .unwrap()
+                lanczos_smallest_csr(
+                    &l,
+                    1,
+                    std::slice::from_ref(&ones),
+                    &LanczosOptions::default(),
+                )
+                .unwrap()
             })
         });
     }
@@ -76,7 +81,9 @@ fn metis_io(c: &mut Criterion) {
     let text = to_metis(&graph);
     let mut group = c.benchmark_group("metis_io_2000n");
     group.sample_size(20);
-    group.bench_function("serialize", |bench| bench.iter(|| to_metis(black_box(&graph))));
+    group.bench_function("serialize", |bench| {
+        bench.iter(|| to_metis(black_box(&graph)))
+    });
     group.bench_function("parse", |bench| {
         bench.iter(|| from_metis(black_box(&text)).unwrap())
     });

@@ -10,15 +10,10 @@
 use gapart_bench::table::TextTable;
 use gapart_bench::ExperimentProtocol;
 use gapart_core::population::InitStrategy;
-use gapart_core::{
-    CrossoverOp, FitnessKind, GaConfig, GaEngine, HillClimbMode, Topology,
-};
+use gapart_core::{CrossoverOp, FitnessKind, GaConfig, GaEngine, HillClimbMode, Topology};
 use gapart_graph::coarsen::{coarsen_to, project_through};
 use gapart_graph::generators::{jittered_mesh, paper_graph};
-use gapart_graph::partition::PartitionMetrics;
 use gapart_graph::Partition;
-use gapart_ibp::{ibp_partition, IbpOptions};
-use gapart_rsb::{rsb_partition, RsbOptions};
 
 fn main() {
     let protocol = ExperimentProtocol::from_env();
@@ -33,8 +28,8 @@ fn main() {
     // --- 1. Reference/seed source -------------------------------------
     {
         let mut t = TextTable::new(["seed source", "best cut"]);
-        let ibp = ibp_partition(&graph, parts, &IbpOptions::default()).unwrap();
-        let rsb = rsb_partition(&graph, parts, &RsbOptions::default()).unwrap();
+        let ibp = protocol.baseline("ibp", &graph, parts).partition;
+        let rsb = protocol.baseline("rsb", &graph, parts).partition;
         let cases: [(&str, InitStrategy); 3] = [
             (
                 "IBP seed",
@@ -135,14 +130,17 @@ fn main() {
             .seeded_from(&projected)
             .with_hill_climb(HillClimbMode::FinalBest { passes: 10 });
         let refined = GaEngine::new(&big, refine_cfg).unwrap().run();
-        t.row(["contract+GA+refine".to_string(), refined.best_cut.to_string()]);
-
-        let rsb = rsb_partition(&big, parts, &RsbOptions::default()).unwrap();
         t.row([
-            "RSB".to_string(),
-            PartitionMetrics::compute(&big, &rsb).total_cut.to_string(),
+            "contract+GA+refine".to_string(),
+            refined.best_cut.to_string(),
         ]);
-        println!("4. Prior graph contraction on a 1200-node mesh\n{}", t.render());
+
+        let rsb = protocol.baseline("rsb", &big, parts);
+        t.row(["RSB".to_string(), rsb.metrics.total_cut.to_string()]);
+        println!(
+            "4. Prior graph contraction on a 1200-node mesh\n{}",
+            t.render()
+        );
     }
 
     // --- 5. Crossover operator sweep -------------------------------------

@@ -52,11 +52,7 @@ fn main() {
             0,
         );
         let start = Instant::now();
-        let result = pool.install(|| {
-            DpgaEngine::new(&graph, config)
-                .expect("valid config")
-                .run()
-        });
+        let result = pool.install(|| DpgaEngine::new(&graph, config).expect("valid config").run());
         let secs = start.elapsed().as_secs_f64();
         let speedup = baseline.map_or(1.0, |b| b / secs);
         if baseline.is_none() {

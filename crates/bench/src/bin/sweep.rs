@@ -28,7 +28,12 @@ fn main() {
             let mut p = protocol.clone();
             p.population = pop;
             p.runs = 3;
-            let s = p.run(&graph, parts, FitnessKind::TotalCut, InitStrategy::BalancedRandom);
+            let s = p.run(
+                &graph,
+                parts,
+                FitnessKind::TotalCut,
+                InitStrategy::BalancedRandom,
+            );
             t.row([
                 pop.to_string(),
                 s.best_cut.to_string(),
@@ -52,9 +57,7 @@ fn main() {
                     r,
                 );
                 config.migration_interval = interval;
-                let res = DpgaEngine::new(&graph, config)
-                    .expect("valid config")
-                    .run();
+                let res = DpgaEngine::new(&graph, config).expect("valid config").run();
                 cut = cut.min(res.best_cut);
             }
             let label = if interval > 1000 {
@@ -69,8 +72,7 @@ fn main() {
 
     // --- seeded-init perturbation ------------------------------------------
     {
-        let seed_partition =
-            gapart_rsb::rsb_partition(&graph, parts, &Default::default()).unwrap();
+        let seed_partition = protocol.baseline("rsb", &graph, parts).partition;
         let mut t = TextTable::new(["perturbation", "best cut"]);
         for perturbation in [0.0f64, 0.05, 0.1, 0.25, 0.5] {
             let init = InitStrategy::Seeded {
@@ -99,9 +101,7 @@ fn main() {
             config.parallel = parallel;
             config.topology = Topology::Hypercube(4);
             let start = Instant::now();
-            let res = DpgaEngine::new(&graph, config)
-                .expect("valid config")
-                .run();
+            let res = DpgaEngine::new(&graph, config).expect("valid config").run();
             t.row([
                 label.to_string(),
                 format!("{:.2?}", start.elapsed()),

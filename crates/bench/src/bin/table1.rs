@@ -8,9 +8,6 @@ use gapart_bench::table::{vs_paper, TextTable};
 use gapart_bench::ExperimentProtocol;
 use gapart_core::FitnessKind;
 use gapart_graph::generators::paper_graph;
-use gapart_graph::partition::PartitionMetrics;
-use gapart_ibp::{ibp_partition, IbpOptions};
-use gapart_rsb::{rsb_partition, RsbOptions};
 
 fn main() {
     let protocol = ExperimentProtocol::from_env();
@@ -29,20 +26,30 @@ fn main() {
         let mut ga_cells = Vec::new();
         let mut rsb_cells = Vec::new();
         for (i, &parts) in parts_list.iter().enumerate() {
-            let ibp_seed = ibp_partition(&graph, parts, &IbpOptions::default())
-                .expect("paper graphs carry coordinates");
+            let ibp_seed = protocol.baseline("ibp", &graph, parts);
             let summary =
-                protocol.run_seeded(&graph, parts, FitnessKind::TotalCut, &ibp_seed);
+                protocol.run_seeded(&graph, parts, FitnessKind::TotalCut, &ibp_seed.partition);
             ga_cells.push(vs_paper(summary.best_cut, Some(row.dknux[i])));
 
-            let rsb = rsb_partition(&graph, parts, &RsbOptions::default())
-                .expect("paper graphs are partitionable");
-            let rsb_cut = PartitionMetrics::compute(&graph, &rsb).total_cut;
-            rsb_cells.push(vs_paper(rsb_cut, Some(row.rsb[i])));
+            let rsb = protocol.baseline("rsb", &graph, parts);
+            rsb_cells.push(vs_paper(rsb.metrics.total_cut, Some(row.rsb[i])));
         }
-        table.row([format!("{} nodes — DKNUX", row.label), ga_cells[0].clone(), ga_cells[1].clone(), ga_cells[2].clone()]);
-        table.row([format!("{} nodes — RSB", row.label), rsb_cells[0].clone(), rsb_cells[1].clone(), rsb_cells[2].clone()]);
+        table.row([
+            format!("{} nodes — DKNUX", row.label),
+            ga_cells[0].clone(),
+            ga_cells[1].clone(),
+            ga_cells[2].clone(),
+        ]);
+        table.row([
+            format!("{} nodes — RSB", row.label),
+            rsb_cells[0].clone(),
+            rsb_cells[1].clone(),
+            rsb_cells[2].clone(),
+        ]);
     }
     println!("{}", table.render());
-    println!("(measured values are best-of-{} DPGA runs; paper values in parentheses)", protocol.runs);
+    println!(
+        "(measured values are best-of-{} DPGA runs; paper values in parentheses)",
+        protocol.runs
+    );
 }

@@ -12,8 +12,6 @@ use gapart_bench::runner::incremental_fixture;
 use gapart_bench::table::{vs_paper, TextTable};
 use gapart_bench::ExperimentProtocol;
 use gapart_core::FitnessKind;
-use gapart_graph::partition::PartitionMetrics;
-use gapart_rsb::{rsb_partition, RsbOptions};
 
 fn main() {
     let protocol = ExperimentProtocol::from_env();
@@ -36,14 +34,25 @@ fn main() {
             let summary = protocol.run_incremental(&grown, &old, FitnessKind::TotalCut);
             ga_cells.push(vs_paper(summary.best_cut, Some(row.dknux[i])));
 
-            let rsb = rsb_partition(&grown, parts, &RsbOptions::default())
-                .expect("grown graphs are partitionable");
-            let rsb_cut = PartitionMetrics::compute(&grown, &rsb).total_cut;
-            rsb_cells.push(vs_paper(rsb_cut, Some(row.rsb[i])));
+            let rsb = protocol.baseline("rsb", &grown, parts);
+            rsb_cells.push(vs_paper(rsb.metrics.total_cut, Some(row.rsb[i])));
         }
-        table.row([format!("{} — DKNUX (incr)", row.label), ga_cells[0].clone(), ga_cells[1].clone(), ga_cells[2].clone()]);
-        table.row([format!("{} — RSB (scratch)", row.label), rsb_cells[0].clone(), rsb_cells[1].clone(), rsb_cells[2].clone()]);
+        table.row([
+            format!("{} — DKNUX (incr)", row.label),
+            ga_cells[0].clone(),
+            ga_cells[1].clone(),
+            ga_cells[2].clone(),
+        ]);
+        table.row([
+            format!("{} — RSB (scratch)", row.label),
+            rsb_cells[0].clone(),
+            rsb_cells[1].clone(),
+            rsb_cells[2].clone(),
+        ]);
     }
     println!("{}", table.render());
-    println!("(measured values are best-of-{} DPGA runs; paper values in parentheses)", protocol.runs);
+    println!(
+        "(measured values are best-of-{} DPGA runs; paper values in parentheses)",
+        protocol.runs
+    );
 }

@@ -11,8 +11,6 @@ use gapart_bench::table::{vs_paper, TextTable};
 use gapart_bench::ExperimentProtocol;
 use gapart_core::FitnessKind;
 use gapart_graph::generators::paper_graph;
-use gapart_graph::partition::PartitionMetrics;
-use gapart_rsb::{rsb_partition, RsbOptions};
 
 fn main() {
     let protocol = ExperimentProtocol::from_env();
@@ -34,14 +32,23 @@ fn main() {
             let summary = protocol.run_random_init(&graph, parts, FitnessKind::WorstCut);
             ga_cells.push(vs_paper(summary.best_cut, Some(row.dknux[i])));
 
-            let rsb = rsb_partition(&graph, parts, &RsbOptions::default())
-                .expect("paper graphs are partitionable");
-            let worst = PartitionMetrics::compute(&graph, &rsb).max_cut;
-            rsb_cells.push(vs_paper(worst, row.rsb[i]));
+            let rsb = protocol.baseline("rsb", &graph, parts);
+            rsb_cells.push(vs_paper(rsb.metrics.max_cut, row.rsb[i]));
         }
-        table.row([format!("{} nodes — DKNUX", row.label), ga_cells[0].clone(), ga_cells[1].clone()]);
-        table.row([format!("{} nodes — RSB", row.label), rsb_cells[0].clone(), rsb_cells[1].clone()]);
+        table.row([
+            format!("{} nodes — DKNUX", row.label),
+            ga_cells[0].clone(),
+            ga_cells[1].clone(),
+        ]);
+        table.row([
+            format!("{} nodes — RSB", row.label),
+            rsb_cells[0].clone(),
+            rsb_cells[1].clone(),
+        ]);
     }
     println!("{}", table.render());
-    println!("(measured values are best-of-{} DPGA runs; paper values in parentheses)", protocol.runs);
+    println!(
+        "(measured values are best-of-{} DPGA runs; paper values in parentheses)",
+        protocol.runs
+    );
 }

@@ -27,56 +27,176 @@ pub struct F2Row {
 
 /// Table 1: DKNUX (IBP-seeded) vs RSB, Fitness 1.
 pub const TABLE1: [F1Row; 2] = [
-    F1Row { label: "167", dknux: [20, 63, 109], rsb: [20, 59, 120] },
-    F1Row { label: "144", dknux: [33, 65, 120], rsb: [36, 78, 119] },
+    F1Row {
+        label: "167",
+        dknux: [20, 63, 109],
+        rsb: [20, 59, 120],
+    },
+    F1Row {
+        label: "144",
+        dknux: [33, 65, 120],
+        rsb: [36, 78, 119],
+    },
 ];
 
 /// Table 2: GA refining RSB solutions, Fitness 1.
 pub const TABLE2: [F1Row; 4] = [
-    F1Row { label: "139", dknux: [28, 65, 100], rsb: [30, 69, 113] },
-    F1Row { label: "213", dknux: [41, 77, 138], rsb: [41, 82, 151] },
-    F1Row { label: "243", dknux: [43, 88, 141], rsb: [47, 95, 154] },
-    F1Row { label: "279", dknux: [36, 78, 139], rsb: [37, 88, 155] },
+    F1Row {
+        label: "139",
+        dknux: [28, 65, 100],
+        rsb: [30, 69, 113],
+    },
+    F1Row {
+        label: "213",
+        dknux: [41, 77, 138],
+        rsb: [41, 82, 151],
+    },
+    F1Row {
+        label: "243",
+        dknux: [43, 88, 141],
+        rsb: [47, 95, 154],
+    },
+    F1Row {
+        label: "279",
+        dknux: [36, 78, 139],
+        rsb: [37, 88, 155],
+    },
 ];
 
 /// Table 3: incremental partitioning vs RSB-from-scratch, Fitness 1.
 pub const TABLE3: [F1Row; 4] = [
-    F1Row { label: "118+21", dknux: [31, 61, 103], rsb: [30, 69, 113] },
-    F1Row { label: "118+41", dknux: [31, 66, 120], rsb: [33, 75, 128] },
-    F1Row { label: "183+30", dknux: [37, 72, 133], rsb: [41, 82, 151] },
-    F1Row { label: "183+60", dknux: [44, 83, 160], rsb: [47, 95, 154] },
+    F1Row {
+        label: "118+21",
+        dknux: [31, 61, 103],
+        rsb: [30, 69, 113],
+    },
+    F1Row {
+        label: "118+41",
+        dknux: [31, 66, 120],
+        rsb: [33, 75, 128],
+    },
+    F1Row {
+        label: "183+30",
+        dknux: [37, 72, 133],
+        rsb: [41, 82, 151],
+    },
+    F1Row {
+        label: "183+60",
+        dknux: [44, 83, 160],
+        rsb: [47, 95, 154],
+    },
 ];
 
 /// Table 4: randomly initialized GA vs RSB, Fitness 2.
 pub const TABLE4: [F2Row; 5] = [
-    F2Row { label: "78", dknux: [23, 23], rsb: [Some(26), Some(25)] },
-    F2Row { label: "88", dknux: [28, 21], rsb: [Some(33), Some(27)] },
-    F2Row { label: "98", dknux: [26, 23], rsb: [Some(30), Some(30)] },
-    F2Row { label: "144", dknux: [53, 42], rsb: [Some(44), Some(35)] },
-    F2Row { label: "167", dknux: [44, 39], rsb: [Some(40), Some(41)] },
+    F2Row {
+        label: "78",
+        dknux: [23, 23],
+        rsb: [Some(26), Some(25)],
+    },
+    F2Row {
+        label: "88",
+        dknux: [28, 21],
+        rsb: [Some(33), Some(27)],
+    },
+    F2Row {
+        label: "98",
+        dknux: [26, 23],
+        rsb: [Some(30), Some(30)],
+    },
+    F2Row {
+        label: "144",
+        dknux: [53, 42],
+        rsb: [Some(44), Some(35)],
+    },
+    F2Row {
+        label: "167",
+        dknux: [44, 39],
+        rsb: [Some(40), Some(41)],
+    },
 ];
 
 /// Table 5: GA refining RSB solutions, Fitness 2.
 pub const TABLE5: [F2Row; 7] = [
-    F2Row { label: "78", dknux: [23, 20], rsb: [Some(26), Some(25)] },
-    F2Row { label: "88", dknux: [24, 22], rsb: [Some(33), Some(27)] },
-    F2Row { label: "98", dknux: [24, 22], rsb: [Some(30), Some(30)] },
-    F2Row { label: "213", dknux: [40, 41], rsb: [Some(46), Some(45)] },
-    F2Row { label: "243", dknux: [45, 41], rsb: [Some(51), Some(47)] },
-    F2Row { label: "279", dknux: [42, 42], rsb: [Some(46), Some(47)] },
-    F2Row { label: "309", dknux: [44, 47], rsb: [Some(46), Some(52)] },
+    F2Row {
+        label: "78",
+        dknux: [23, 20],
+        rsb: [Some(26), Some(25)],
+    },
+    F2Row {
+        label: "88",
+        dknux: [24, 22],
+        rsb: [Some(33), Some(27)],
+    },
+    F2Row {
+        label: "98",
+        dknux: [24, 22],
+        rsb: [Some(30), Some(30)],
+    },
+    F2Row {
+        label: "213",
+        dknux: [40, 41],
+        rsb: [Some(46), Some(45)],
+    },
+    F2Row {
+        label: "243",
+        dknux: [45, 41],
+        rsb: [Some(51), Some(47)],
+    },
+    F2Row {
+        label: "279",
+        dknux: [42, 42],
+        rsb: [Some(46), Some(47)],
+    },
+    F2Row {
+        label: "309",
+        dknux: [44, 47],
+        rsb: [Some(46), Some(52)],
+    },
 ];
 
 /// Table 6: incremental partitioning, Fitness 2.
 pub const TABLE6: [F2Row; 8] = [
-    F2Row { label: "78+10", dknux: [27, 25], rsb: [Some(33), Some(27)] },
-    F2Row { label: "78+20", dknux: [29, 27], rsb: [None, None] },
-    F2Row { label: "118+21", dknux: [33, 29], rsb: [Some(38), Some(34)] },
-    F2Row { label: "118+41", dknux: [34, 35], rsb: [Some(40), Some(39)] },
-    F2Row { label: "183+30", dknux: [41, 40], rsb: [Some(46), Some(45)] },
-    F2Row { label: "183+60", dknux: [46, 45], rsb: [Some(51), Some(47)] },
-    F2Row { label: "249+30", dknux: [42, 44], rsb: [Some(51), Some(47)] },
-    F2Row { label: "249+60", dknux: [46, 56], rsb: [Some(46), Some(52)] },
+    F2Row {
+        label: "78+10",
+        dknux: [27, 25],
+        rsb: [Some(33), Some(27)],
+    },
+    F2Row {
+        label: "78+20",
+        dknux: [29, 27],
+        rsb: [None, None],
+    },
+    F2Row {
+        label: "118+21",
+        dknux: [33, 29],
+        rsb: [Some(38), Some(34)],
+    },
+    F2Row {
+        label: "118+41",
+        dknux: [34, 35],
+        rsb: [Some(40), Some(39)],
+    },
+    F2Row {
+        label: "183+30",
+        dknux: [41, 40],
+        rsb: [Some(46), Some(45)],
+    },
+    F2Row {
+        label: "183+60",
+        dknux: [46, 45],
+        rsb: [Some(51), Some(47)],
+    },
+    F2Row {
+        label: "249+30",
+        dknux: [42, 44],
+        rsb: [Some(51), Some(47)],
+    },
+    F2Row {
+        label: "249+60",
+        dknux: [46, 56],
+        rsb: [Some(46), Some(52)],
+    },
 ];
 
 /// Parses an incremental label like `"118+21"` into `(base, added)`.

@@ -6,13 +6,14 @@
 //! of 5 runs, and the tables represent the best solutions obtained in
 //! these 5 runs."
 
+use gapart_core::dpga::MigrationPolicy;
 use gapart_core::history::ConvergenceHistory;
 use gapart_core::incremental::extend_partition_balanced;
 use gapart_core::population::InitStrategy;
-use gapart_core::dpga::MigrationPolicy;
 use gapart_core::{
     CrossoverOp, DpgaConfig, DpgaEngine, FitnessKind, GaConfig, HillClimbMode, Topology,
 };
+use gapart_graph::partitioner::PartitionReport;
 use gapart_graph::{CsrGraph, Partition};
 
 /// Knobs of the experimental protocol. Defaults mirror §4; everything can
@@ -56,12 +57,26 @@ impl Default for ExperimentProtocol {
 }
 
 impl ExperimentProtocol {
+    /// Runs a registered partitioner through the unified
+    /// [`gapart_graph::partitioner::Partitioner`] trait — the same
+    /// dispatch path as the CLI's `--method` flag. The table binaries use
+    /// this for their RSB / IBP baseline columns and seed partitions.
+    ///
+    /// # Panics
+    ///
+    /// On unknown names or algorithm failure: the experiment binaries
+    /// have no error channel besides aborting the run.
+    pub fn baseline(&self, name: &str, graph: &CsrGraph, num_parts: u32) -> PartitionReport {
+        let p = gapart::partitioners::by_name(name)
+            .unwrap_or_else(|| panic!("unknown partitioner '{name}'"));
+        p.partition(graph, num_parts, BASELINE_SEED)
+            .unwrap_or_else(|e| panic!("baseline {name} failed: {e}"))
+    }
+
     /// Builds the protocol from the environment (see module docs).
     pub fn from_env() -> Self {
         let mut p = ExperimentProtocol::default();
-        let parse = |name: &str| -> Option<usize> {
-            std::env::var(name).ok()?.parse().ok()
-        };
+        let parse = |name: &str| -> Option<usize> { std::env::var(name).ok()?.parse().ok() };
         if std::env::var("GAPART_FAST").is_ok_and(|v| v == "1") {
             p.runs = 2;
             p.generations = 30;
@@ -199,11 +214,7 @@ impl ExperimentProtocol {
             partition: extended.labels().to_vec(),
             perturbation: 0.05,
         };
-        let overrides = vec![
-            seeded.clone(),
-            seeded.clone(),
-            InitStrategy::BalancedRandom,
-        ];
+        let overrides = vec![seeded.clone(), seeded.clone(), InitStrategy::BalancedRandom];
         self.run_with_overrides(grown, old.num_parts(), fitness, seeded, Some(overrides))
     }
 }
@@ -229,6 +240,12 @@ impl RunSummary {
     }
 }
 
+/// Seed used for baseline partitioners run through
+/// [`ExperimentProtocol::baseline`] — RSB's traditional default, so trait
+/// dispatch reproduces the historical direct-call results exactly (IBP
+/// has no randomness and ignores it).
+pub const BASELINE_SEED: u64 = 0x5253_4200;
+
 /// Standard graph fixtures shared by the binaries: the deterministic growth
 /// seed used for the incremental experiments (Tables 3 & 6), so every
 /// binary and test sees identical grown graphs.
@@ -243,8 +260,11 @@ pub fn incremental_fixture(
     num_parts: u32,
 ) -> (CsrGraph, CsrGraph, Partition) {
     let base = gapart_graph::generators::paper_graph(base_nodes);
-    let old = gapart_rsb::rsb_partition(&base, num_parts, &Default::default())
-        .expect("paper graphs are partitionable");
+    let old = gapart::partitioners::by_name("rsb")
+        .expect("rsb is registered")
+        .partition(&base, num_parts, BASELINE_SEED)
+        .expect("paper graphs are partitionable")
+        .partition;
     let grown = gapart_graph::incremental::grow_local(&base, added, GROWTH_SEED)
         .expect("paper graphs carry coordinates")
         .graph;
@@ -295,6 +315,39 @@ mod tests {
         assert_eq!(old.num_nodes(), 78);
         let s = tiny().run_incremental(&grown, &old, FitnessKind::TotalCut);
         assert!(s.best_cut > 0);
+    }
+
+    #[test]
+    fn every_registered_partitioner_is_invocable_from_the_runner() {
+        let g = paper_graph(78);
+        let mut protocol = tiny();
+        protocol.generations = 3;
+        for name in gapart::partitioners::NAMES {
+            // GA/DPGA at registry defaults are slow; shrink via env-free
+            // trait dispatch with the tiny protocol's own config instead.
+            let report = match name {
+                "ga" => gapart::partitioners::tuned_ga(
+                    gapart_core::GaConfig::paper_defaults(4)
+                        .with_population_size(16)
+                        .with_generations(3),
+                )
+                .partition(&g, 4, 1)
+                .unwrap(),
+                "dpga" => gapart::partitioners::tuned_dpga(protocol.dpga_config(
+                    4,
+                    FitnessKind::TotalCut,
+                    InitStrategy::BalancedRandom,
+                    None,
+                    0,
+                ))
+                .partition(&g, 4, 1)
+                .unwrap(),
+                _ => protocol.baseline(name, &g, 4),
+            };
+            assert_eq!(report.algorithm, name);
+            assert_eq!(report.partition.num_nodes(), 78);
+            assert!(report.partition.labels().iter().all(|&l| l < 4));
+        }
     }
 
     #[test]

@@ -1,0 +1,477 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network registry, so the workspace vendors
+//! a generate-only property-testing harness with the subset of proptest's
+//! API its tests use: the [`proptest!`] macro (with
+//! `#![proptest_config(..)]`), range / tuple / [`Just`] / [`any`] /
+//! [`collection::vec`] strategies, the `prop_flat_map` / `prop_filter` /
+//! `prop_map` combinators, and the `prop_assert!` family.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports its seed and message but is
+//!   not minimized.
+//! * **Fixed derivation** — each test function derives its RNG seed from
+//!   its own name (FNV-1a), so runs are reproducible without a persistence
+//!   file. Set `PROPTEST_SEED` to explore a different universe.
+//! * Rejections (via [`prop_assume!`] or `prop_filter`) retry up to 16×
+//!   the configured case count before the harness panics as exhausted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+
+/// Why a generated case did not complete.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected (`prop_assume!` / `prop_filter`); try another.
+    Reject,
+    /// A `prop_assert!` failed with this message.
+    Fail(String),
+}
+
+/// Result type threaded through a generated test body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Harness configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Builds the deterministic RNG for a named test (FNV-1a over the name,
+/// XORed with `PROPTEST_SEED` when set).
+pub fn rng_for(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+        if let Ok(x) = extra.parse::<u64>() {
+            h ^= x;
+        }
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A value generator (subset of `proptest::strategy::Strategy`).
+///
+/// Upstream strategies produce value *trees* that support shrinking; this
+/// shim generates final values directly.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value, or rejects the attempt (filters).
+    fn generate(&self, rng: &mut StdRng) -> Result<Self::Value, TestCaseError>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Rejects generated values failing `pred`. The `reason` matches
+    /// upstream's signature; the shim reports it only on exhaustion.
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> Result<O, TestCaseError> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Result<S2::Value, TestCaseError> {
+        let outer = self.inner.generate(rng)?;
+        (self.f)(outer).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Result<S::Value, TestCaseError> {
+        // Local retries keep whole-case rejections rare; after that the
+        // harness-level retry budget takes over.
+        for _ in 0..8 {
+            let v = self.inner.generate(rng)?;
+            if (self.pred)(&v) {
+                return Ok(v);
+            }
+        }
+        let _ = self.reason;
+        Err(TestCaseError::Reject)
+    }
+}
+
+/// Strategy producing exactly its value (upstream `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> Result<T, TestCaseError> {
+        Ok(self.0.clone())
+    }
+}
+
+/// Types with a canonical whole-domain strategy (upstream
+/// `proptest::arbitrary::Arbitrary`, reduced to primitives).
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        // Finite values only: arbitrary bit patterns produce NaNs that
+        // almost no numeric property intends to cover.
+        rng.gen_range(-1e9..1e9)
+    }
+}
+
+/// Whole-domain strategy for `T` (upstream `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> Result<T, TestCaseError> {
+        Ok(T::arbitrary(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> Result<$t, TestCaseError> {
+                Ok(rng.gen_range(self.clone()))
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> Result<$t, TestCaseError> {
+                Ok(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Result<Self::Value, TestCaseError> {
+                let ($($name,)+) = self;
+                Ok(($($name.generate(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Glob-import module mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) so the harness can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts two expressions compare equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?} == {:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Asserts two expressions compare unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, "assertion failed: `{:?} != {:?}`", __l, __r);
+    }};
+}
+
+/// Rejects the current case (it does not count toward the target) when
+/// the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests (subset of upstream `proptest!`): an optional
+/// `#![proptest_config(..)]` header followed by `#[test]` functions whose
+/// arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::rng_for(stringify!($name));
+            let mut __passed: u32 = 0;
+            let mut __attempts: u32 = 0;
+            let __max_attempts = __config.cases.saturating_mul(16).max(64);
+            while __passed < __config.cases {
+                if __attempts >= __max_attempts {
+                    panic!(
+                        "proptest '{}': too many rejections ({} attempts for {} cases)",
+                        stringify!($name),
+                        __attempts,
+                        __passed
+                    );
+                }
+                __attempts += 1;
+                let __outcome: $crate::TestCaseResult = (|| {
+                    $(
+                        let $pat = match $crate::Strategy::generate(&($strat), &mut __rng) {
+                            ::core::result::Result::Ok(v) => v,
+                            ::core::result::Result::Err(e) => {
+                                return ::core::result::Result::Err(e)
+                            }
+                        };
+                    )+
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match __outcome {
+                    ::core::result::Result::Ok(()) => __passed += 1,
+                    ::core::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest '{}' failed at case {}: {}",
+                            stringify!($name),
+                            __passed,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = u32> {
+        (0u32..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, f in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_any(pair in (any::<u32>(), 0u32..5), s in any::<u64>()) {
+            prop_assert!(pair.1 < 5);
+            prop_assert_eq!(s, s);
+        }
+
+        #[test]
+        fn vec_strategy_sizes((n, v) in (1usize..20).prop_flat_map(|n| {
+            (crate::Just(n), crate::collection::vec(0u32..9, n..=n))
+        })) {
+            prop_assert_eq!(v.len(), n);
+            prop_assert!(v.iter().all(|&x| x < 9));
+        }
+
+        #[test]
+        fn filter_rejects(x in (0u32..100).prop_filter("even only", |x| x % 2 == 0)) {
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn map_combinator(e in evens()) {
+            prop_assert!(e % 2 == 0);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..10) {
+            prop_assume!(x > 0);
+            prop_assert!(x >= 1);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use rand::Rng;
+        let mut a = crate::rng_for("some_test");
+        let mut b = crate::rng_for("some_test");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,530 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network registry, so the workspace vendors
+//! a minimal data-parallel runtime with the subset of rayon's API the
+//! partitioners use:
+//!
+//! * `par_iter()` / `par_iter_mut()` / `into_par_iter()` on slices and
+//!   `Vec<T>`, with `map(..).collect()` and `for_each(..)`.
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] to bound worker
+//!   counts (the speedup experiment sweeps pool sizes).
+//! * [`current_num_threads`].
+//!
+//! Unlike real rayon there is no work stealing: each driving call chunks
+//! its items evenly across `current_num_threads()` scoped threads. Two
+//! properties the workspace depends on are guaranteed:
+//!
+//! 1. **Index-order reduction** — `map(..).collect()` returns results in
+//!    the input order, so a parallel map is bit-identical to its
+//!    sequential counterpart whenever the mapped function is pure.
+//! 2. **No nested oversubscription** — a parallel region entered from
+//!    inside a worker thread runs sequentially inline (rayon would steal;
+//!    we simply degrade), so DPGA's islands-in-parallel does not multiply
+//!    threads with the engine's parallel fitness evaluation.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global default thread count; 0 = use `std::thread::available_parallelism`.
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`]; 0 = none.
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+    /// Set inside shim worker threads to suppress nested parallelism.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of worker threads a parallel call issued here would use.
+pub fn current_num_threads() -> usize {
+    let n = POOL_THREADS.with(Cell::get);
+    if n > 0 {
+        return n;
+    }
+    let n = DEFAULT_THREADS.load(Ordering::Relaxed);
+    if n > 0 {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]. The shim cannot
+/// actually fail to build; the type exists for API compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (auto) thread count.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker count (0 = auto).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Infallible in the shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+
+    /// Installs this configuration as the global default.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        DEFAULT_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// A scoped thread-count configuration (the shim spawns threads per
+/// parallel call rather than keeping a resident pool).
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count in effect.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let previous = POOL_THREADS.with(|c| c.replace(self.num_threads));
+        let result = op();
+        POOL_THREADS.with(|c| c.set(previous));
+        result
+    }
+
+    /// The pool's configured thread count (resolving 0 = auto).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+}
+
+/// Worker count for a batch: capped so no thread gets fewer than
+/// `min_len` items — spawning a scoped thread costs tens of
+/// microseconds, so tiny batches run inline instead.
+fn effective_threads(num_items: usize, min_len: usize) -> usize {
+    let threads = current_num_threads();
+    let nested = IN_WORKER.with(Cell::get);
+    if nested {
+        return 1;
+    }
+    threads.min(num_items / min_len.max(1)).max(1)
+}
+
+fn join_unwinding<R>(handle: std::thread::ScopedJoinHandle<'_, R>) -> R {
+    match handle.join() {
+        Ok(v) => v,
+        // Propagate the worker's original panic payload, as rayon does.
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Runs `f` over `items`, in parallel when worthwhile, preserving input
+/// order in the returned vector.
+fn drive<T: Send, R: Send>(items: Vec<T>, min_len: usize, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let threads = effective_threads(items.len(), min_len);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| {
+                scope.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    c.into_iter().map(f).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(join_unwinding(h));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Like [`drive`] but threading per-worker state: `init` runs once per
+/// worker chunk (once total on the sequential path) and `f` receives
+/// `&mut` access to it — the shim's `map_init`, for amortizing scratch
+/// allocations across a chunk.
+fn drive_init<T, R, S, INIT, F>(items: Vec<T>, min_len: usize, init: &INIT, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    let threads = effective_threads(items.len(), min_len);
+    if threads <= 1 {
+        let mut state = init();
+        return items.into_iter().map(|t| f(&mut state, t)).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| {
+                scope.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    let mut state = init();
+                    c.into_iter().map(|t| f(&mut state, t)).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(join_unwinding(h));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// A materialized parallel iterator: items are collected up front and
+/// chunked across worker threads when driven.
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+    min_len: usize,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Guarantees each worker at least `min_len` items (rayon's
+    /// `with_min_len`): batches smaller than `2 × min_len` run inline,
+    /// so callers with cheap per-item work avoid paying thread-spawn
+    /// overhead. Purely a scheduling hint — results are identical.
+    #[must_use]
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    /// Parallel map. Lazy: runs when the result is driven.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, R, F> {
+        ParMap {
+            items: self.items,
+            min_len: self.min_len,
+            f,
+            _out: std::marker::PhantomData,
+        }
+    }
+
+    /// Parallel map with per-worker state (subset of rayon's
+    /// `map_init`): `init` runs once per worker, `f` gets `&mut` access
+    /// to the state for every item that worker processes. Use it to
+    /// amortize scratch-buffer allocations across a chunk.
+    pub fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> ParMapInit<T, S, R, INIT, F>
+    where
+        R: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> R + Sync,
+    {
+        ParMapInit {
+            items: self.items,
+            min_len: self.min_len,
+            init,
+            f,
+            _out: std::marker::PhantomData,
+        }
+    }
+
+    /// Applies `f` to every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        drive(self.items, self.min_len, &f);
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Lazy parallel map adapter produced by [`ParIter::map`].
+pub struct ParMap<T, R, F> {
+    items: Vec<T>,
+    min_len: usize,
+    f: F,
+    _out: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, R, F> {
+    /// Drives the map and collects results **in input order**.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        drive(self.items, self.min_len, &self.f)
+            .into_iter()
+            .collect()
+    }
+
+    /// Drives the map, discarding results.
+    pub fn for_each<G: Fn(R) + Sync>(self, g: G) {
+        let f = self.f;
+        let min_len = self.min_len;
+        drive(self.items, min_len, &move |t| g(f(t)));
+    }
+}
+
+/// Lazy stateful map adapter produced by [`ParIter::map_init`].
+pub struct ParMapInit<T, S, R, INIT, F> {
+    items: Vec<T>,
+    min_len: usize,
+    init: INIT,
+    f: F,
+    _out: std::marker::PhantomData<fn() -> (S, R)>,
+}
+
+impl<T, S, R, INIT, F> ParMapInit<T, S, R, INIT, F>
+where
+    T: Send,
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    /// Drives the map and collects results **in input order**.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        drive_init(self.items, self.min_len, &self.init, &self.f)
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Conversion into a [`ParIter`] by value (subset of
+/// `rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self,
+            min_len: 1,
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+            min_len: 1,
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u32> {
+    type Item = u32;
+
+    fn into_par_iter(self) -> ParIter<u32> {
+        ParIter {
+            items: self.collect(),
+            min_len: 1,
+        }
+    }
+}
+
+/// `par_iter()` on shared slices (subset of
+/// `rayon::iter::IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+
+    /// Parallel iterator over `&self`.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+            min_len: 1,
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+            min_len: 1,
+        }
+    }
+}
+
+/// `par_iter_mut()` on exclusive slices (subset of
+/// `rayon::iter::IntoParallelRefMutIterator`).
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+
+    /// Parallel iterator over `&mut self`.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+            min_len: 1,
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+            min_len: 1,
+        }
+    }
+}
+
+/// Glob-import module mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item() {
+        let mut v = vec![0u32; 5000];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn par_iter_reads_in_parallel() {
+        let v: Vec<u64> = (0..1000).collect();
+        let sum: u64 = v.par_iter().map(|&x| x).collect::<Vec<u64>>().iter().sum();
+        assert_eq!(sum, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn pool_install_bounds_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 2);
+        pool.install(|| assert_eq!(current_num_threads(), 2));
+    }
+
+    #[test]
+    fn nested_parallelism_degrades_to_sequential() {
+        let outer: Vec<usize> = (0..4).collect();
+        let sums: Vec<usize> = outer
+            .into_par_iter()
+            .map(|i| {
+                let inner: Vec<usize> = (0..100).collect();
+                inner
+                    .into_par_iter()
+                    .map(|j| i + j)
+                    .collect::<Vec<_>>()
+                    .len()
+            })
+            .collect();
+        assert_eq!(sums, vec![100; 4]);
+    }
+
+    #[test]
+    fn map_init_amortizes_state_and_preserves_order() {
+        use std::sync::atomic::AtomicUsize;
+        static INITS: AtomicUsize = AtomicUsize::new(0);
+        let v: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = v
+            .into_par_iter()
+            .map_init(
+                || {
+                    INITS.fetch_add(1, Ordering::Relaxed);
+                    Vec::<u64>::with_capacity(8)
+                },
+                |scratch, x| {
+                    scratch.clear();
+                    scratch.push(x);
+                    scratch[0] * 2
+                },
+            )
+            .collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+        // One init per worker chunk (or one total when sequential) —
+        // not one per item.
+        assert!(INITS.load(Ordering::Relaxed) <= current_num_threads().max(1) + 1);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0..50usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[49], 49 * 49);
+    }
+}

@@ -18,10 +18,10 @@ use crate::error::GaError;
 use crate::history::ConvergenceHistory;
 use crate::population::Individual;
 use crate::topology::Topology;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use gapart_graph::partition::PartitionMetrics;
 use gapart_graph::{CsrGraph, Partition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rayon::prelude::*;
 
 /// Which individuals a subpopulation emits at a migration round.
@@ -255,8 +255,7 @@ impl<'g> DpgaEngine<'g> {
             }
         }
 
-        let per_subpop: Vec<GaResult> =
-            self.engines.into_iter().map(|e| e.finish()).collect();
+        let per_subpop: Vec<GaResult> = self.engines.into_iter().map(|e| e.finish()).collect();
         let best_idx = per_subpop
             .iter()
             .enumerate()
@@ -269,7 +268,11 @@ impl<'g> DpgaEngine<'g> {
             .expect("at least one subpopulation");
 
         // Global history: best-so-far across subpopulations per generation.
-        let max_len = per_subpop.iter().map(|r| r.history.len()).max().unwrap_or(0);
+        let max_len = per_subpop
+            .iter()
+            .map(|r| r.history.len())
+            .max()
+            .unwrap_or(0);
         let mut history = ConvergenceHistory::with_capacity(max_len.saturating_sub(1));
         for g in 0..max_len {
             let mut best_fit = f64::NEG_INFINITY;

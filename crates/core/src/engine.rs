@@ -18,6 +18,12 @@ use gapart_graph::partition::PartitionMetrics;
 use gapart_graph::{CsrGraph, Partition};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Minimum offspring per rayon worker before the evaluation phase fans
+/// out — below `2×` this, thread-spawn overhead exceeds the work. Pure
+/// scheduling: results are identical at any value.
+pub(crate) const PAR_MIN_OFFSPRING: usize = 8;
 
 /// When (if at all) to apply boundary hill climbing (§3.6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +96,12 @@ pub struct GaConfig {
     pub seed: u64,
     /// Stop early once the reported cut reaches this value.
     pub target_cut: Option<u64>,
+    /// Fan the per-generation fitness evaluation (and offspring hill
+    /// climbing) across rayon workers. Breeding stays on one thread so
+    /// the RNG stream is fixed, and results are reduced in index order,
+    /// so `true` and `false` produce **bit-identical** runs — asserted in
+    /// the tests; only wall time changes.
+    pub parallel: bool,
 }
 
 impl GaConfig {
@@ -115,6 +127,7 @@ impl GaConfig {
             knux_reference: None,
             seed: 0x5343_3934, // "SC94"
             target_cut: None,
+            parallel: true,
         }
     }
 
@@ -167,6 +180,14 @@ impl GaConfig {
         self
     }
 
+    /// Enables or disables parallel fitness evaluation (results are
+    /// identical either way; see [`GaConfig::parallel`]).
+    #[must_use]
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
     /// Seeds the population from a heuristic partition with the default
     /// perturbation (10% of genes), the paper's §3.5 setup.
     #[must_use]
@@ -208,9 +229,10 @@ impl GaConfig {
             });
         }
         let seed_params: Option<(&Vec<u32>, f64, f64)> = match &self.init {
-            InitStrategy::Seeded { partition, perturbation } => {
-                Some((partition, *perturbation, 0.0))
-            }
+            InitStrategy::Seeded {
+                partition,
+                perturbation,
+            } => Some((partition, *perturbation, 0.0)),
             InitStrategy::SeededPlusRandom {
                 partition,
                 perturbation,
@@ -308,7 +330,7 @@ impl<'g> GaEngine<'g> {
             config.population_size,
             &mut rng,
         );
-        let population = Population::evaluate(chromosomes, &evaluator);
+        let population = Population::evaluate_batch(chromosomes, &evaluator, config.parallel);
         let best_ever = population.best().clone();
         let reference = config
             .knux_reference
@@ -343,7 +365,8 @@ impl<'g> GaEngine<'g> {
 
     /// Reported cut of the best individual found so far.
     pub fn best_cut(&self) -> u64 {
-        self.evaluator.reported_cut(self.best_ever.chromosome.genes())
+        self.evaluator
+            .reported_cut(self.best_ever.chromosome.genes())
     }
 
     /// Convergence history so far (index 0 = initial population).
@@ -387,6 +410,14 @@ impl<'g> GaEngine<'g> {
     }
 
     /// Runs one generation. Returns the best fitness after the step.
+    ///
+    /// The generation is split into two phases. **Breeding** (selection,
+    /// crossover, mutation) is sequential: it owns the RNG, so its stream
+    /// of draws is fixed by the seed alone. **Evaluation** (offspring hill
+    /// climbing + fitness) is RNG-free and embarrassingly parallel: when
+    /// [`GaConfig::parallel`] is set it fans across rayon workers and is
+    /// reduced in index order, making the parallel path bit-identical to
+    /// the sequential one.
     pub fn step(&mut self) -> f64 {
         let pop_size = self.config.population_size;
         let mut next: Vec<Individual> = Vec::with_capacity(pop_size);
@@ -396,8 +427,11 @@ impl<'g> GaEngine<'g> {
             next.push(self.population.individuals[idx].clone());
         }
 
+        // Phase 1 — breed offspring genes (sequential; consumes the RNG).
+        let wanted = pop_size - next.len();
         let fitness_values = self.population.fitness_values();
-        while next.len() < pop_size {
+        let mut offspring: Vec<Vec<u32>> = Vec::with_capacity(wanted + 1);
+        while offspring.len() < wanted {
             let i = self.config.selection.select(&fitness_values, &mut self.rng);
             let j = self.config.selection.select(&fitness_values, &mut self.rng);
             let pa = self.population.individuals[i].chromosome.genes();
@@ -429,26 +463,45 @@ impl<'g> GaEngine<'g> {
                         &mut self.rng,
                     );
                 }
-                if let HillClimbMode::Offspring { passes } = self.config.hill_climb {
-                    hill_climb(&self.evaluator, child, passes);
-                }
             }
+            offspring.push(c1);
+            offspring.push(c2);
+        }
+        // An odd quota breeds one spare child; drop it (its RNG draws
+        // already happened, so the stream does not depend on this).
+        offspring.truncate(wanted);
 
-            for child in [c1, c2] {
-                if next.len() >= pop_size {
-                    break;
-                }
-                let fitness = self.evaluator.evaluate_with(&child, &mut self.scratch);
-                next.push(Individual {
-                    chromosome: Chromosome::new(child),
-                    fitness,
-                });
+        // Phase 2 — hill-climb + evaluate (RNG-free; parallel when
+        // configured, reduced in index order either way).
+        let evaluator = &self.evaluator;
+        let climb = self.config.hill_climb;
+        let eval_one = |scratch: &mut EvalScratch, mut genes: Vec<u32>| {
+            if let HillClimbMode::Offspring { passes } = climb {
+                hill_climb(evaluator, &mut genes, passes);
             }
+            let fitness = evaluator.evaluate_with(&genes, scratch);
+            Individual {
+                chromosome: Chromosome::new(genes),
+                fitness,
+            }
+        };
+        if self.config.parallel {
+            // One scratch per worker chunk, not per offspring; min_len
+            // keeps tiny populations inline (thread spawn would cost
+            // more than the evaluations).
+            next.extend(
+                offspring
+                    .into_par_iter()
+                    .with_min_len(PAR_MIN_OFFSPRING)
+                    .map_init(EvalScratch::default, eval_one)
+                    .collect::<Vec<_>>(),
+            );
+        } else {
+            let scratch = &mut self.scratch;
+            next.extend(offspring.into_iter().map(|genes| eval_one(scratch, genes)));
         }
 
-        self.population = Population {
-            individuals: next,
-        };
+        self.population = Population { individuals: next };
         self.generations_run += 1;
 
         // Track global best; DKNUX continually re-targets it.
@@ -463,7 +516,11 @@ impl<'g> GaEngine<'g> {
         // Elite polish: one swap-climb of the global best per generation.
         if self.config.elite_swap_passes > 0 {
             let mut genes = self.best_ever.chromosome.genes().to_vec();
-            crate::hillclimb::swap_climb(&self.evaluator, &mut genes, self.config.elite_swap_passes);
+            crate::hillclimb::swap_climb(
+                &self.evaluator,
+                &mut genes,
+                self.config.elite_swap_passes,
+            );
             let fitness = self.evaluator.evaluate_with(&genes, &mut self.scratch);
             if fitness > self.best_ever.fitness {
                 self.best_ever = Individual {
@@ -477,7 +534,9 @@ impl<'g> GaEngine<'g> {
                 self.population.replace_worst(vec![self.best_ever.clone()]);
             }
         }
-        let best_cut = self.evaluator.reported_cut(self.best_ever.chromosome.genes());
+        let best_cut = self
+            .evaluator
+            .reported_cut(self.best_ever.chromosome.genes());
         self.history.push(
             self.best_ever.fitness,
             self.population.mean_fitness(),
@@ -515,7 +574,9 @@ impl<'g> GaEngine<'g> {
                 };
             }
         }
-        let best_cut = self.evaluator.reported_cut(self.best_ever.chromosome.genes());
+        let best_cut = self
+            .evaluator
+            .reported_cut(self.best_ever.chromosome.genes());
         let best_partition = self
             .best_ever
             .chromosome
@@ -574,10 +635,40 @@ mod tests {
     }
 
     #[test]
+    fn parallel_and_sequential_evaluation_agree_exactly() {
+        // The rayon fan-out only touches the RNG-free phase and reduces
+        // in index order, so it must be bit-identical — including with
+        // offspring hill climbing (the expensive path it exists for).
+        // Small budget: the trait-level contract test covers the plain
+        // configuration at full length; this one only needs the memetic
+        // path. Population 40 still exceeds 2×PAR_MIN_OFFSPRING, so the
+        // 4-thread pool genuinely fans out.
+        let g = paper_graph(98);
+        let config = |parallel: bool| {
+            small_config(4)
+                .with_generations(8)
+                .with_hill_climb(HillClimbMode::Offspring { passes: 1 })
+                .with_parallel(parallel)
+        };
+        // A 4-thread pool forces real fan-out even on single-core hosts.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let par = pool.install(|| GaEngine::new(&g, config(true)).unwrap().run());
+        let seq = GaEngine::new(&g, config(false)).unwrap().run();
+        assert_eq!(par.best_partition, seq.best_partition);
+        assert_eq!(par.history, seq.history);
+        assert_eq!(par.best_fitness, seq.best_fitness);
+    }
+
+    #[test]
     fn different_seeds_explore_differently() {
         let g = paper_graph(88);
         let a = GaEngine::new(&g, small_config(4)).unwrap().run();
-        let b = GaEngine::new(&g, small_config(4).with_seed(8)).unwrap().run();
+        let b = GaEngine::new(&g, small_config(4).with_seed(8))
+            .unwrap()
+            .run();
         assert_ne!(a.history.mean_fitness, b.history.mean_fitness);
     }
 

@@ -39,8 +39,14 @@ pub enum GaError {
 impl fmt::Display for GaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GaError::BadPartCount { num_parts, num_nodes } => {
-                write!(f, "cannot partition {num_nodes} nodes into {num_parts} parts")
+            GaError::BadPartCount {
+                num_parts,
+                num_nodes,
+            } => {
+                write!(
+                    f,
+                    "cannot partition {num_nodes} nodes into {num_parts} parts"
+                )
             }
             GaError::BadRate { name, value } => {
                 write!(f, "{name} = {value} is not in [0, 1]")
@@ -60,11 +66,19 @@ mod tests {
 
     #[test]
     fn messages_are_descriptive() {
-        let e = GaError::BadPartCount { num_parts: 9, num_nodes: 4 };
+        let e = GaError::BadPartCount {
+            num_parts: 9,
+            num_nodes: 4,
+        };
         assert!(e.to_string().contains("9 parts"));
-        let e = GaError::BadRate { name: "crossover_rate", value: 1.5 };
+        let e = GaError::BadRate {
+            name: "crossover_rate",
+            value: 1.5,
+        };
         assert!(e.to_string().contains("crossover_rate"));
-        let e = GaError::BadSeed { message: "wrong length".into() };
+        let e = GaError::BadSeed {
+            message: "wrong length".into(),
+        };
         assert!(e.to_string().contains("wrong length"));
     }
 }

@@ -128,11 +128,7 @@ impl<'g> FitnessEvaluator<'g> {
         }
     }
 
-    fn tally<'s>(
-        &self,
-        genes: &[u32],
-        scratch: &'s mut EvalScratch,
-    ) -> (&'s [u64], &'s [u64]) {
+    fn tally<'s>(&self, genes: &[u32], scratch: &'s mut EvalScratch) -> (&'s [u64], &'s [u64]) {
         let n = self.graph.num_nodes();
         assert_eq!(genes.len(), n, "chromosome length != node count");
         let p = self.num_parts as usize;
@@ -251,8 +247,7 @@ impl<'g> PartitionState<'g> {
             let lf = self.loads[from as usize] as f64;
             let lt = self.loads[to as usize] as f64;
             let w = wv as f64;
-            ((lf - w - a).powi(2) - (lf - a).powi(2))
-                + ((lt + w - a).powi(2) - (lt - a).powi(2))
+            ((lf - w - a).powi(2) - (lf - a).powi(2)) + ((lt + w - a).powi(2) - (lt - a).powi(2))
         };
         let comm_delta = match self.evaluator.kind {
             FitnessKind::TotalCut => {

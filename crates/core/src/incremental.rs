@@ -74,10 +74,7 @@ pub fn extend_partition_balanced(
 /// # Errors
 ///
 /// [`GaError::BadSeed`] if `old` covers more nodes than `graph` has.
-pub fn greedy_neighbor_assign(
-    graph: &CsrGraph,
-    old: &Partition,
-) -> Result<Partition, GaError> {
+pub fn greedy_neighbor_assign(graph: &CsrGraph, old: &Partition) -> Result<Partition, GaError> {
     let n_old = old.num_nodes();
     let n_new = graph.num_nodes();
     if n_old > n_new {

@@ -35,6 +35,7 @@ pub mod hillclimb;
 pub mod history;
 pub mod incremental;
 pub mod ops;
+pub mod partitioner_impl;
 pub mod population;
 pub mod selection;
 pub mod topology;
@@ -45,6 +46,7 @@ pub use error::GaError;
 pub use fitness::{FitnessEvaluator, FitnessKind};
 pub use history::ConvergenceHistory;
 pub use ops::crossover::CrossoverOp;
+pub use partitioner_impl::{DpgaPartitioner, GaPartitioner};
 pub use population::InitStrategy;
 pub use selection::SelectionScheme;
 pub use topology::Topology;

@@ -427,7 +427,10 @@ mod tests {
         }
         // And interior nodes dominate, so most genes follow parent a.
         let diffs = c1.iter().zip(&a).filter(|(x, y)| x != y).count();
-        assert!(diffs < 40, "KNUX ignored a strongly-supporting reference: {diffs} diffs");
+        assert!(
+            diffs < 40,
+            "KNUX ignored a strongly-supporting reference: {diffs} diffs"
+        );
     }
 
     #[test]
@@ -485,7 +488,10 @@ mod tests {
             from_a += c1.iter().filter(|&&x| x == 0).count();
         }
         let share = from_a as f64 / (n * trials) as f64;
-        assert!((0.70..=0.80).contains(&share), "share from fitter parent: {share}");
+        assert!(
+            (0.70..=0.80).contains(&share),
+            "share from fitter parent: {share}"
+        );
 
         // Weight 0 degrades to plain KNUX: neutral reference → ~50%.
         let mut from_a = 0usize;

@@ -1,0 +1,154 @@
+//! [`Partitioner`] implementations for the GA and DPGA engines.
+
+use crate::dpga::{DpgaConfig, DpgaEngine};
+use crate::engine::{GaConfig, GaEngine};
+use gapart_graph::partitioner::{PartitionReport, Partitioner, PartitionerError};
+use gapart_graph::CsrGraph;
+
+/// The single-population GA as a [`Partitioner`].
+///
+/// Holds a [`GaConfig`] template; each call clones it and overrides
+/// `num_parts` and `seed` with the trait arguments, so one instance
+/// serves any part count and any number of seeded runs.
+#[derive(Debug, Clone)]
+pub struct GaPartitioner {
+    /// Template configuration (part count and seed are per-call).
+    pub config: GaConfig,
+}
+
+impl Default for GaPartitioner {
+    fn default() -> Self {
+        GaPartitioner {
+            config: GaConfig::paper_defaults(2),
+        }
+    }
+}
+
+impl GaPartitioner {
+    /// Partitioner from an explicit configuration template.
+    pub fn new(config: GaConfig) -> Self {
+        GaPartitioner { config }
+    }
+}
+
+impl Partitioner for GaPartitioner {
+    fn name(&self) -> &'static str {
+        "ga"
+    }
+
+    fn partition(
+        &self,
+        graph: &CsrGraph,
+        num_parts: u32,
+        seed: u64,
+    ) -> Result<PartitionReport, PartitionerError> {
+        let mut config = self.config.clone();
+        config.num_parts = num_parts;
+        config.seed = seed;
+        let result = GaEngine::new(graph, config)
+            .map_err(PartitionerError::new)?
+            .run();
+        Ok(PartitionReport {
+            algorithm: self.name(),
+            partition: result.best_partition,
+            metrics: result.best_metrics,
+        })
+    }
+}
+
+/// The distributed-population GA as a [`Partitioner`].
+///
+/// Holds a [`DpgaConfig`] template; each call overrides the base config's
+/// `num_parts` and `seed` with the trait arguments.
+#[derive(Debug, Clone)]
+pub struct DpgaPartitioner {
+    /// Template configuration (part count and seed are per-call).
+    pub config: DpgaConfig,
+}
+
+impl Default for DpgaPartitioner {
+    fn default() -> Self {
+        DpgaPartitioner {
+            config: DpgaConfig::paper(2),
+        }
+    }
+}
+
+impl DpgaPartitioner {
+    /// Partitioner from an explicit configuration template.
+    pub fn new(config: DpgaConfig) -> Self {
+        DpgaPartitioner { config }
+    }
+}
+
+impl Partitioner for DpgaPartitioner {
+    fn name(&self) -> &'static str {
+        "dpga"
+    }
+
+    fn partition(
+        &self,
+        graph: &CsrGraph,
+        num_parts: u32,
+        seed: u64,
+    ) -> Result<PartitionReport, PartitionerError> {
+        let mut config = self.config.clone();
+        config.base.num_parts = num_parts;
+        config.base.seed = seed;
+        let result = DpgaEngine::new(graph, config)
+            .map_err(PartitionerError::new)?
+            .run();
+        Ok(PartitionReport {
+            algorithm: self.name(),
+            partition: result.best_partition,
+            metrics: result.best_metrics,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gapart_graph::generators::paper_graph;
+
+    fn small_ga() -> GaPartitioner {
+        let mut p = GaPartitioner::default();
+        p.config.population_size = 32;
+        p.config.generations = 10;
+        p
+    }
+
+    fn small_dpga() -> DpgaPartitioner {
+        let mut p = DpgaPartitioner::default();
+        p.config.topology = crate::topology::Topology::Hypercube(2);
+        p.config.base.population_size = 32;
+        p.config.base.generations = 10;
+        p
+    }
+
+    #[test]
+    fn trait_runs_are_deterministic_and_valid() {
+        let g = paper_graph(78);
+        for p in [
+            Box::new(small_ga()) as Box<dyn Partitioner>,
+            Box::new(small_dpga()),
+        ] {
+            let a = p.partition(&g, 4, 77).unwrap();
+            let b = p.partition(&g, 4, 77).unwrap();
+            assert_eq!(a.partition, b.partition, "{} not deterministic", p.name());
+            assert_eq!(a.partition.num_nodes(), 78);
+            assert!(a.partition.labels().iter().all(|&l| l < 4));
+            assert!(a.metrics.total_cut > 0);
+            assert!(p.partition(&g, 0, 77).is_err(), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn template_part_count_is_overridden() {
+        // The default template says 2 parts; the call says 5.
+        let g = paper_graph(78);
+        let report = small_ga().partition(&g, 5, 3).unwrap();
+        assert_eq!(report.partition.num_parts(), 5);
+        assert_eq!(report.metrics.part_loads.len(), 5);
+    }
+}

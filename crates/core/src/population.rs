@@ -4,6 +4,7 @@ use crate::chromosome::Chromosome;
 use crate::fitness::{EvalScratch, FitnessEvaluator};
 use rand::seq::SliceRandom;
 use rand::Rng;
+use rayon::prelude::*;
 
 /// A chromosome with its cached fitness.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,9 +71,7 @@ impl InitStrategy {
     ) -> Vec<Chromosome> {
         match self {
             InitStrategy::Random => (0..pop_size)
-                .map(|_| {
-                    Chromosome::new((0..n).map(|_| rng.gen_range(0..num_parts)).collect())
-                })
+                .map(|_| Chromosome::new((0..n).map(|_| rng.gen_range(0..num_parts)).collect()))
                 .collect(),
             InitStrategy::BalancedRandom => (0..pop_size)
                 .map(|_| {
@@ -105,12 +104,7 @@ impl InitStrategy {
                     .map(|i| {
                         let mut genes = partition.clone();
                         if i > 0 {
-                            crate::ops::mutation::mutate(
-                                &mut genes,
-                                *perturbation,
-                                num_parts,
-                                rng,
-                            );
+                            crate::ops::mutation::mutate(&mut genes, *perturbation, num_parts, rng);
                         }
                         Chromosome::new(genes)
                     })
@@ -133,12 +127,7 @@ impl InitStrategy {
                     perturbation: *perturbation,
                 }
                 .generate(n, num_parts, seeded_count, rng);
-                out.extend(InitStrategy::BalancedRandom.generate(
-                    n,
-                    num_parts,
-                    random_count,
-                    rng,
-                ));
+                out.extend(InitStrategy::BalancedRandom.generate(n, num_parts, random_count, rng));
                 out
             }
         }
@@ -160,6 +149,32 @@ impl Population {
             .into_iter()
             .map(|c| {
                 let fitness = evaluator.evaluate_with(c.genes(), &mut scratch);
+                Individual {
+                    chromosome: c,
+                    fitness,
+                }
+            })
+            .collect();
+        Population { individuals }
+    }
+
+    /// Like [`Population::evaluate`] but fanning the fitness evaluations
+    /// across rayon workers when `parallel` is true. Fitness is a pure
+    /// function of the genes and results are reduced in index order, so
+    /// both paths build identical populations.
+    pub fn evaluate_batch(
+        chromosomes: Vec<Chromosome>,
+        evaluator: &FitnessEvaluator<'_>,
+        parallel: bool,
+    ) -> Self {
+        if !parallel {
+            return Self::evaluate(chromosomes, evaluator);
+        }
+        let individuals = chromosomes
+            .into_par_iter()
+            .with_min_len(crate::engine::PAR_MIN_OFFSPRING)
+            .map_init(EvalScratch::default, |scratch, c| {
+                let fitness = evaluator.evaluate_with(c.genes(), scratch);
                 Individual {
                     chromosome: c,
                     fitness,

@@ -80,11 +80,8 @@ impl SelectionScheme {
             SelectionScheme::Rank => {
                 let n = fitness.len();
                 let mut order: Vec<usize> = (0..n).collect();
-                order.sort_by(|&a, &b| {
-                    fitness[a]
-                        .partial_cmp(&fitness[b])
-                        .expect("finite fitness")
-                });
+                order
+                    .sort_by(|&a, &b| fitness[a].partial_cmp(&fitness[b]).expect("finite fitness"));
                 // Rank weights 1..=n (worst..best); total n(n+1)/2.
                 let total = n * (n + 1) / 2;
                 let mut ball = rng.gen_range(0..total) as i64;
@@ -131,7 +128,10 @@ mod tests {
     fn tournament_size_one_is_uniform() {
         let fitness = vec![-10.0, -1.0];
         let counts = frequencies(SelectionScheme::Tournament(1), &fitness, 20_000);
-        assert!((counts[0] as i64 - counts[1] as i64).abs() < 1500, "{counts:?}");
+        assert!(
+            (counts[0] as i64 - counts[1] as i64).abs() < 1500,
+            "{counts:?}"
+        );
     }
 
     #[test]

@@ -26,7 +26,9 @@ fn base(parts: u32) -> GaConfig {
 fn history_length_tracks_generation_budget() {
     let g = paper_graph(78);
     for gens in [0usize, 1, 7, 20] {
-        let r = GaEngine::new(&g, base(4).with_generations(gens)).unwrap().run();
+        let r = GaEngine::new(&g, base(4).with_generations(gens))
+            .unwrap()
+            .run();
         assert_eq!(r.generations_run, gens);
         assert_eq!(r.history.len(), gens + 1, "gens={gens}");
     }
@@ -94,7 +96,9 @@ fn explicit_knux_reference_is_honoured() {
         .iter()
         .map(|p| u32::from(p.x > 0.5))
         .collect();
-    let mut cfg = base(2).with_crossover(CrossoverOp::Knux).with_generations(30);
+    let mut cfg = base(2)
+        .with_crossover(CrossoverOp::Knux)
+        .with_generations(30);
     cfg.knux_reference = Some(target.clone());
     let r = GaEngine::new(&g, cfg).unwrap().run();
     // The run should land close to the reference's quality class: compare
@@ -169,14 +173,14 @@ fn average_histories_matches_figure_protocol() {
         })
         .collect();
     let (avg_cut, _) = average_histories(&histories);
-    for gidx in 0..avg_cut.len() {
+    for (gidx, &avg) in avg_cut.iter().enumerate() {
         let vals: Vec<f64> = histories
             .iter()
             .map(|h| h.best_cut[gidx.min(h.best_cut.len() - 1)] as f64)
             .collect();
         let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        assert!(avg_cut[gidx] >= lo - 1e-9 && avg_cut[gidx] <= hi + 1e-9);
+        assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9);
     }
 }
 
@@ -210,7 +214,9 @@ fn hill_climb_mode_cost_quality_order() {
     // On equal budgets: memetic ≥ plain in quality (it embeds local
     // search); both must be deterministic.
     let g = paper_graph(144);
-    let plain = GaEngine::new(&g, base(4).with_generations(15)).unwrap().run();
+    let plain = GaEngine::new(&g, base(4).with_generations(15))
+        .unwrap()
+        .run();
     let memetic = GaEngine::new(
         &g,
         base(4)
@@ -224,7 +230,6 @@ fn hill_climb_mode_cost_quality_order() {
 
 #[test]
 fn seeded_plus_random_composition() {
-    let g = paper_graph(98);
     let seed_p = Partition::blocks(98, 4);
     let init = InitStrategy::SeededPlusRandom {
         partition: seed_p.labels().to_vec(),

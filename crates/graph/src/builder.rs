@@ -129,10 +129,16 @@ impl GraphBuilder {
         let mut half: Vec<(u32, u32, u32)> = Vec::with_capacity(self.edges.len());
         for (u, v, w) in self.edges {
             if u as usize >= n {
-                return Err(GraphError::NodeOutOfRange { node: u, num_nodes: n });
+                return Err(GraphError::NodeOutOfRange {
+                    node: u,
+                    num_nodes: n,
+                });
             }
             if v as usize >= n {
-                return Err(GraphError::NodeOutOfRange { node: v, num_nodes: n });
+                return Err(GraphError::NodeOutOfRange {
+                    node: v,
+                    num_nodes: n,
+                });
             }
             if u == v {
                 return Err(GraphError::SelfLoop { node: u });
@@ -231,7 +237,13 @@ mod tests {
     #[test]
     fn rejects_out_of_range() {
         let err = GraphBuilder::with_nodes(2).edge(0, 2).build().unwrap_err();
-        assert_eq!(err, GraphError::NodeOutOfRange { node: 2, num_nodes: 2 });
+        assert_eq!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: 2,
+                num_nodes: 2
+            }
+        );
     }
 
     #[test]

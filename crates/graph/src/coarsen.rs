@@ -10,8 +10,8 @@
 
 use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
-use crate::partition::Partition;
 use crate::geometry::Point2;
+use crate::partition::Partition;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -40,8 +40,7 @@ impl Coarsening {
             .iter()
             .map(|&cv| coarse_partition.part(cv))
             .collect();
-        Partition::new(labels, coarse_partition.num_parts())
-            .expect("projected labels are in range")
+        Partition::new(labels, coarse_partition.num_parts()).expect("projected labels are in range")
     }
 }
 

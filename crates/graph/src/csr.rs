@@ -113,7 +113,10 @@ impl CsrGraph {
 
     /// Maximum degree over all nodes (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.num_nodes() as u32).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.num_nodes() as u32)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average degree (0.0 for the empty graph).
@@ -157,7 +160,10 @@ impl CsrGraph {
             }
             for (&u, &w) in nbrs.iter().zip(self.edge_weights(v as u32)) {
                 if u as usize >= n {
-                    return Err(GraphError::NodeOutOfRange { node: u, num_nodes: n });
+                    return Err(GraphError::NodeOutOfRange {
+                        node: u,
+                        num_nodes: n,
+                    });
                 }
                 if u as usize == v {
                     return Err(GraphError::SelfLoop { node: u });

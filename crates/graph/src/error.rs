@@ -62,7 +62,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node id {node} out of range (graph has {num_nodes} nodes)")
+                write!(
+                    f,
+                    "node id {node} out of range (graph has {num_nodes} nodes)"
+                )
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop on node {node}"),
             GraphError::ZeroEdgeWeight { u, v } => {
@@ -73,9 +76,14 @@ impl fmt::Display for GraphError {
                 write!(f, "{requested} nodes exceed the u32 id space")
             }
             GraphError::PartOutOfRange { part, num_parts } => {
-                write!(f, "part label {part} out of range (partition has {num_parts} parts)")
+                write!(
+                    f,
+                    "part label {part} out of range (partition has {num_parts} parts)"
+                )
             }
-            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             GraphError::MissingCoordinates => write!(f, "graph has no vertex coordinates"),
             GraphError::Disconnected { components } => {
                 write!(f, "graph is disconnected ({components} components)")
@@ -92,12 +100,18 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = GraphError::NodeOutOfRange { node: 9, num_nodes: 4 };
+        let e = GraphError::NodeOutOfRange {
+            node: 9,
+            num_nodes: 4,
+        };
         assert!(e.to_string().contains("9"));
         assert!(e.to_string().contains("4"));
         let e = GraphError::SelfLoop { node: 3 };
         assert!(e.to_string().contains("self-loop"));
-        let e = GraphError::Parse { line: 7, message: "bad token".into() };
+        let e = GraphError::Parse {
+            line: 7,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 7"));
         let e = GraphError::Disconnected { components: 2 };
         assert!(e.to_string().contains("2 components"));

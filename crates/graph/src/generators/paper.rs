@@ -11,9 +11,7 @@ use super::mesh::jittered_mesh;
 use crate::csr::CsrGraph;
 
 /// Every distinct base-graph node count appearing in the paper's tables.
-pub const PAPER_SIZES: [usize; 13] = [
-    78, 88, 98, 118, 139, 144, 167, 183, 213, 243, 249, 279, 309,
-];
+pub const PAPER_SIZES: [usize; 13] = [78, 88, 98, 118, 139, 144, 167, 183, 213, 243, 249, 279, 309];
 
 /// The `(base, added)` pairs of the incremental experiments (Tables 3 & 6).
 pub fn paper_incremental_bases() -> Vec<(usize, usize)> {

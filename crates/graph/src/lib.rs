@@ -36,6 +36,7 @@ pub mod geometry;
 pub mod incremental;
 pub mod io;
 pub mod partition;
+pub mod partitioner;
 pub mod subgraph;
 pub mod svg;
 pub mod traversal;
@@ -45,3 +46,4 @@ pub use csr::CsrGraph;
 pub use error::GraphError;
 pub use geometry::Point2;
 pub use partition::{Partition, PartitionMetrics};
+pub use partitioner::{PartitionReport, Partitioner, PartitionerError};

@@ -28,7 +28,10 @@ impl Partition {
     pub fn new(labels: Vec<u32>, num_parts: u32) -> Result<Self, GraphError> {
         assert!(num_parts > 0, "num_parts must be positive");
         if let Some(&bad) = labels.iter().find(|&&p| p >= num_parts) {
-            return Err(GraphError::PartOutOfRange { part: bad, num_parts });
+            return Err(GraphError::PartOutOfRange {
+                part: bad,
+                num_parts,
+            });
         }
         Ok(Partition { labels, num_parts })
     }

@@ -43,7 +43,9 @@ pub fn induced_subgraph(graph: &CsrGraph, nodes: &[u32]) -> Subgraph {
         b = b.coords(nodes.iter().map(|&v| coords[v as usize]).collect());
     }
     Subgraph {
-        graph: b.build().expect("induced subgraph of a valid graph is valid"),
+        graph: b
+            .build()
+            .expect("induced subgraph of a valid graph is valid"),
         orig_ids: nodes.to_vec(),
     }
 }
@@ -81,10 +83,7 @@ mod tests {
         let nodes: Vec<u32> = (0..30).collect();
         let s = induced_subgraph(&g, &nodes);
         assert!(s.graph.coords().is_some());
-        assert_eq!(
-            s.graph.coords().unwrap()[5],
-            g.coords().unwrap()[5]
-        );
+        assert_eq!(s.graph.coords().unwrap()[5], g.coords().unwrap()[5]);
         assert_eq!(s.graph.node_weight(3), g.node_weight(3));
     }
 

@@ -98,7 +98,11 @@ pub fn render_partition(
             let _ = writeln!(
                 out,
                 r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{}" stroke-width="1" stroke-opacity="0.5"/>"#,
-                px(a.x), py(a.y), px(b.x), py(b.y), part_color(pu)
+                px(a.x),
+                py(a.y),
+                px(b.x),
+                py(b.y),
+                part_color(pu)
             );
         } else {
             let (stroke, width) = if opts.highlight_cut {
@@ -109,7 +113,10 @@ pub fn render_partition(
             let _ = writeln!(
                 cut_edges,
                 r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{stroke}" stroke-width="{width}" stroke-dasharray="4 2"/>"#,
-                px(a.x), py(a.y), px(b.x), py(b.y)
+                px(a.x),
+                py(a.y),
+                px(b.x),
+                py(b.y)
             );
         }
     }

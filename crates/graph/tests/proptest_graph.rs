@@ -13,8 +13,7 @@ use proptest::prelude::*;
 /// Strategy: a random simple graph as (n, edges).
 fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
     (2usize..60).prop_flat_map(|n| {
-        let edge = (0..n as u32, 0..n as u32)
-            .prop_filter("no self-loops", |(u, v)| u != v);
+        let edge = (0..n as u32, 0..n as u32).prop_filter("no self-loops", |(u, v)| u != v);
         (Just(n), proptest::collection::vec(edge, 0..(n * 3)))
     })
 }

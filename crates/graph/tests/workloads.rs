@@ -3,8 +3,8 @@
 //! generator suite, plus file-level METIS interop.
 
 use gapart_graph::generators::{
-    gnp, grid2d, jittered_mesh, paper_graph, random_geometric, ring_lattice, GridKind,
-    paper_incremental_bases, PAPER_SIZES,
+    gnp, grid2d, jittered_mesh, paper_graph, paper_incremental_bases, random_geometric,
+    ring_lattice, GridKind, PAPER_SIZES,
 };
 use gapart_graph::incremental::grow_local;
 use gapart_graph::io::{coords_to_text, from_metis, to_metis};
@@ -104,8 +104,7 @@ fn metis_files_round_trip_through_disk() {
         let cpath = dir.join(format!("g{n}.xy"));
         std::fs::write(&cpath, coords_to_text(g.coords().unwrap())).unwrap();
         let parsed =
-            gapart_graph::io::coords_from_text(&std::fs::read_to_string(&cpath).unwrap())
-                .unwrap();
+            gapart_graph::io::coords_from_text(&std::fs::read_to_string(&cpath).unwrap()).unwrap();
         assert_eq!(parsed.len(), n);
     }
     std::fs::remove_dir_all(&dir).ok();

@@ -136,7 +136,7 @@ mod tests {
 
     #[test]
     fn hilbert_is_a_bijection() {
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for r in 0..8 {
             for c in 0..8 {
                 let d = hilbert_d(r, c, 3) as usize;

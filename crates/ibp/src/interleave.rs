@@ -68,10 +68,7 @@ pub fn interleave(dims: &[Dim]) -> u64 {
 /// each, column occupying the even (lower) positions — the paper's
 /// shuffled row-major order.
 pub fn interleave2(row: u32, col: u32, bits: u32) -> u64 {
-    interleave(&[
-        Dim::new(row as u64, bits),
-        Dim::new(col as u64, bits),
-    ])
+    interleave(&[Dim::new(row as u64, bits), Dim::new(col as u64, bits)])
 }
 
 /// Inverse of [`interleave2`]: recovers `(row, col)` from a Morton index.
@@ -101,22 +98,14 @@ mod tests {
     #[test]
     fn appendix_equal_width_example() {
         // index1 = 001, index2 = 010, index3 = 110 → 001011100.
-        let r = interleave(&[
-            Dim::new(0b001, 3),
-            Dim::new(0b010, 3),
-            Dim::new(0b110, 3),
-        ]);
+        let r = interleave(&[Dim::new(0b001, 3), Dim::new(0b010, 3), Dim::new(0b110, 3)]);
         assert_eq!(r, 0b001011100, "got {r:b}");
     }
 
     #[test]
     fn appendix_unequal_width_example() {
         // index1 = 101, index2 = 01, index3 = 0 → 100110.
-        let r = interleave(&[
-            Dim::new(0b101, 3),
-            Dim::new(0b01, 2),
-            Dim::new(0b0, 1),
-        ]);
+        let r = interleave(&[Dim::new(0b101, 3), Dim::new(0b01, 2), Dim::new(0b0, 1)]);
         assert_eq!(r, 0b100110, "got {r:b}");
     }
 
@@ -156,7 +145,7 @@ mod tests {
 
     #[test]
     fn morton_is_a_bijection_on_the_grid() {
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for r in 0..8 {
             for c in 0..8 {
                 let i = interleave2(r, c, 3) as usize;

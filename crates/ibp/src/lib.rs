@@ -21,6 +21,8 @@
 pub mod index;
 pub mod interleave;
 pub mod partition;
+pub mod partitioner_impl;
 
 pub use index::{figure1_row_major, figure1_shuffled, IndexScheme};
 pub use partition::{ibp_partition, IbpOptions};
+pub use partitioner_impl::IbpPartitioner;

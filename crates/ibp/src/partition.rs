@@ -147,7 +147,15 @@ mod tests {
     fn hilbert_no_worse_than_shuffled() {
         let g = grid2d(16, 16, GridKind::FourConnected);
         let mk = |scheme| {
-            let p = ibp_partition(&g, 8, &IbpOptions { scheme, resolution: 16 }).unwrap();
+            let p = ibp_partition(
+                &g,
+                8,
+                &IbpOptions {
+                    scheme,
+                    resolution: 16,
+                },
+            )
+            .unwrap();
             cut_size(&g, &p)
         };
         assert!(mk(IndexScheme::Hilbert) <= mk(IndexScheme::ShuffledRowMajor));

@@ -1,11 +1,11 @@
 //! Property-based tests for index-based partitioning.
 
-use gapart_ibp::index::{hilbert_d, IndexScheme};
-use gapart_ibp::interleave::{bits_for, deinterleave2, interleave, interleave2, Dim};
-use gapart_ibp::{ibp_partition, IbpOptions};
 use gapart_graph::generators::jittered_mesh;
 use gapart_graph::partition::cut_size;
 use gapart_graph::Partition;
+use gapart_ibp::index::{hilbert_d, IndexScheme};
+use gapart_ibp::interleave::{bits_for, deinterleave2, interleave, interleave2, Dim};
+use gapart_ibp::{ibp_partition, IbpOptions};
 use proptest::prelude::*;
 
 proptest! {

@@ -241,7 +241,11 @@ mod tests {
     fn path_laplacian(n: usize) -> CsrMatrix {
         let mut t = Vec::new();
         for i in 0..n as u32 {
-            let deg = if i == 0 || i == n as u32 - 1 { 1.0 } else { 2.0 };
+            let deg = if i == 0 || i == n as u32 - 1 {
+                1.0
+            } else {
+                2.0
+            };
             t.push((i, i, deg));
             if (i as usize) + 1 < n {
                 t.push((i, i + 1, -1.0));
@@ -253,10 +257,7 @@ mod tests {
 
     #[test]
     fn smallest_of_diagonal_matrix() {
-        let a = CsrMatrix::from_triplets(
-            4,
-            &[(0, 0, 4.0), (1, 1, 1.0), (2, 2, 3.0), (3, 3, 2.0)],
-        );
+        let a = CsrMatrix::from_triplets(4, &[(0, 0, 4.0), (1, 1, 1.0), (2, 2, 3.0), (3, 3, 2.0)]);
         let r = lanczos_smallest_csr(&a, 2, &[], &LanczosOptions::default()).unwrap();
         assert!(r.converged);
         assert!((r.eigenvalues[0] - 1.0).abs() < 1e-7, "{:?}", r.eigenvalues);
@@ -280,7 +281,10 @@ mod tests {
         let v = &r.eigenvectors[0];
         let increasing = v.windows(2).all(|w| w[0] <= w[1] + 1e-9);
         let decreasing = v.windows(2).all(|w| w[0] >= w[1] - 1e-9);
-        assert!(increasing || decreasing, "Fiedler vector not monotone: {v:?}");
+        assert!(
+            increasing || decreasing,
+            "Fiedler vector not monotone: {v:?}"
+        );
     }
 
     #[test]
@@ -307,7 +311,13 @@ mod tests {
         let n = 20;
         let a = path_laplacian(n);
         let ones = vec![1.0 / (n as f64).sqrt(); n];
-        let r = lanczos_smallest_csr(&a, 2, &[ones.clone()], &LanczosOptions::default()).unwrap();
+        let r = lanczos_smallest_csr(
+            &a,
+            2,
+            std::slice::from_ref(&ones),
+            &LanczosOptions::default(),
+        )
+        .unwrap();
         for v in &r.eigenvectors {
             assert!(dot(v, &ones).abs() < 1e-7);
         }
@@ -335,7 +345,13 @@ mod tests {
     fn deterministic_given_seed() {
         let a = path_laplacian(15);
         let ones = vec![1.0 / 15f64.sqrt(); 15];
-        let r1 = lanczos_smallest_csr(&a, 1, &[ones.clone()], &LanczosOptions::default()).unwrap();
+        let r1 = lanczos_smallest_csr(
+            &a,
+            1,
+            std::slice::from_ref(&ones),
+            &LanczosOptions::default(),
+        )
+        .unwrap();
         let r2 = lanczos_smallest_csr(&a, 1, &[ones], &LanczosOptions::default()).unwrap();
         assert_eq!(r1.eigenvalues, r2.eigenvalues);
     }

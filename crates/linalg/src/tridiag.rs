@@ -203,7 +203,10 @@ mod tests {
         let off = vec![-1.0; n - 1];
         let (vals, vecs) = eigh_tridiagonal(&diag, &off).unwrap();
         for (k, &lam) in vals.iter().enumerate() {
-            let expect = 4.0 * (k as f64 * std::f64::consts::PI / (2.0 * n as f64)).sin().powi(2);
+            let expect = 4.0
+                * (k as f64 * std::f64::consts::PI / (2.0 * n as f64))
+                    .sin()
+                    .powi(2);
             assert!((lam - expect).abs() < 1e-9, "k={k}: {lam} vs {expect}");
         }
         check_eigenpairs(&diag, &off, &vals, &vecs);

@@ -73,7 +73,10 @@ fn recurse(
     let p_right = parts - p_left;
 
     // Fiedler direction of the subgraph.
-    let f = fiedler_vector(&sub.graph, seed ^ (nodes.len() as u64) << 8 ^ first_part as u64)?;
+    let f = fiedler_vector(
+        &sub.graph,
+        seed ^ (nodes.len() as u64) << 8 ^ first_part as u64,
+    )?;
 
     // Sort local ids by (fiedler value, original id) for determinism.
     let mut order: Vec<u32> = (0..nodes.len() as u32).collect();
@@ -86,10 +89,7 @@ fn recurse(
 
     // Weighted split: left receives p_left/parts of the load, with counts
     // clamped so both sides keep at least as many nodes as parts.
-    let total: u64 = order
-        .iter()
-        .map(|&l| sub.graph.node_weight(l) as u64)
-        .sum();
+    let total: u64 = order.iter().map(|&l| sub.graph.node_weight(l) as u64).sum();
     let target = total as f64 * p_left as f64 / parts as f64;
     let min_left = p_left as usize;
     let max_left = nodes.len() - p_right as usize;
@@ -120,7 +120,14 @@ fn recurse(
         .iter()
         .map(|&l| sub.orig_ids[l as usize])
         .collect();
-    recurse(root, &left, first_part, p_left, seed.wrapping_mul(0x9e37_79b9).wrapping_add(1), labels)?;
+    recurse(
+        root,
+        &left,
+        first_part,
+        p_left,
+        seed.wrapping_mul(0x9e37_79b9).wrapping_add(1),
+        labels,
+    )?;
     recurse(
         root,
         &right,
@@ -146,7 +153,11 @@ mod tests {
         let p = rsb_bisect(&g, &RsbOptions::default()).unwrap();
         let m = PartitionMetrics::compute(&g, &p);
         assert_eq!(m.part_loads, vec![32, 32]);
-        assert_eq!(m.total_cut, 4, "cut {} (expected the optimal 4)", m.total_cut);
+        assert_eq!(
+            m.total_cut, 4,
+            "cut {} (expected the optimal 4)",
+            m.total_cut
+        );
     }
 
     #[test]

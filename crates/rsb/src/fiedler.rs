@@ -75,9 +75,7 @@ mod tests {
         let v = fiedler_vector(&g, 3).unwrap();
         // Columns 0..6 should have one sign, 6..12 the other (up to global
         // sign). Compare column means.
-        let col_mean = |c: usize| -> f64 {
-            (0..4).map(|r| v[r * 12 + c]).sum::<f64>() / 4.0
-        };
+        let col_mean = |c: usize| -> f64 { (0..4).map(|r| v[r * 12 + c]).sum::<f64>() / 4.0 };
         let left = col_mean(0);
         let right = col_mean(11);
         assert!(

@@ -23,12 +23,14 @@ pub mod bisect;
 pub mod fiedler;
 pub mod laplacian;
 pub mod multilevel;
+pub mod partitioner_impl;
 pub mod refine;
 
 pub use bisect::{rsb_bisect, rsb_partition, RsbOptions};
 pub use fiedler::fiedler_vector;
 pub use laplacian::laplacian;
 pub use multilevel::multilevel_rsb;
+pub use partitioner_impl::{MultilevelRsbPartitioner, RsbPartitioner};
 
 /// Errors from the spectral partitioning pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,7 +50,10 @@ impl std::fmt::Display for RsbError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RsbError::Eigensolver(msg) => write!(f, "eigensolver failure: {msg}"),
-            RsbError::BadPartCount { num_parts, num_nodes } => {
+            RsbError::BadPartCount {
+                num_parts,
+                num_nodes,
+            } => {
                 write!(f, "cannot split {num_nodes} nodes into {num_parts} parts")
             }
         }

@@ -1,0 +1,83 @@
+//! [`Partitioner`] implementations for plain and multilevel RSB.
+
+use crate::bisect::{rsb_partition, RsbOptions};
+use crate::multilevel::{multilevel_rsb, MultilevelOptions};
+use gapart_graph::partitioner::{PartitionReport, Partitioner, PartitionerError};
+use gapart_graph::CsrGraph;
+
+/// Recursive spectral bisection as a [`Partitioner`].
+///
+/// The trait's `seed` argument overrides [`RsbOptions::seed`] per call, so
+/// a single instance serves any number of seeded runs.
+#[derive(Debug, Clone, Default)]
+pub struct RsbPartitioner {
+    /// Template options; the per-call seed replaces `options.seed`.
+    pub options: RsbOptions,
+}
+
+impl Partitioner for RsbPartitioner {
+    fn name(&self) -> &'static str {
+        "rsb"
+    }
+
+    fn partition(
+        &self,
+        graph: &CsrGraph,
+        num_parts: u32,
+        seed: u64,
+    ) -> Result<PartitionReport, PartitionerError> {
+        let mut opts = self.options.clone();
+        opts.seed = seed;
+        let p = rsb_partition(graph, num_parts, &opts).map_err(PartitionerError::new)?;
+        Ok(PartitionReport::new(self.name(), graph, p))
+    }
+}
+
+/// Multilevel RSB (coarsen → RSB → project + refine) as a [`Partitioner`].
+#[derive(Debug, Clone, Default)]
+pub struct MultilevelRsbPartitioner {
+    /// Template options; the per-call seed replaces `options.seed`.
+    pub options: MultilevelOptions,
+}
+
+impl Partitioner for MultilevelRsbPartitioner {
+    fn name(&self) -> &'static str {
+        "mlrsb"
+    }
+
+    fn partition(
+        &self,
+        graph: &CsrGraph,
+        num_parts: u32,
+        seed: u64,
+    ) -> Result<PartitionReport, PartitionerError> {
+        let opts = MultilevelOptions {
+            seed,
+            ..self.options.clone()
+        };
+        let p = multilevel_rsb(graph, num_parts, &opts).map_err(PartitionerError::new)?;
+        Ok(PartitionReport::new(self.name(), graph, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gapart_graph::generators::jittered_mesh;
+
+    #[test]
+    fn both_implementations_satisfy_the_contract() {
+        let g = jittered_mesh(80, 3);
+        for p in [
+            Box::new(RsbPartitioner::default()) as Box<dyn Partitioner>,
+            Box::new(MultilevelRsbPartitioner::default()),
+        ] {
+            let a = p.partition(&g, 4, 11).unwrap();
+            let b = p.partition(&g, 4, 11).unwrap();
+            assert_eq!(a.partition, b.partition, "{} not deterministic", p.name());
+            assert_eq!(a.partition.num_nodes(), 80);
+            assert!(a.partition.labels().iter().all(|&l| l < 4));
+            assert!(p.partition(&g, 0, 11).is_err());
+        }
+    }
+}

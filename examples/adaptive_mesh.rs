@@ -9,7 +9,9 @@
 //!
 //! Run: `cargo run --release --example adaptive_mesh`
 
-use gapart::core::incremental::{extend_partition_balanced, greedy_neighbor_assign, incremental_ga};
+use gapart::core::incremental::{
+    extend_partition_balanced, greedy_neighbor_assign, incremental_ga,
+};
 use gapart::core::{FitnessEvaluator, FitnessKind, GaConfig};
 use gapart::graph::generators::paper_graph;
 use gapart::graph::incremental::grow_local;
@@ -21,8 +23,8 @@ fn main() {
 
     // Step 1: initial mesh and partition.
     let mesh = paper_graph(183);
-    let initial = rsb_partition(&mesh, parts, &RsbOptions::default())
-        .expect("mesh is partitionable");
+    let initial =
+        rsb_partition(&mesh, parts, &RsbOptions::default()).expect("mesh is partitionable");
     let m0 = PartitionMetrics::compute(&mesh, &initial);
     println!("initial mesh: 183 nodes, cut {}", m0.total_cut);
 
@@ -36,8 +38,7 @@ fn main() {
 
     // Step 3a: the paper's deterministic baseline — each new node joins
     // the part most of its neighbours are in.
-    let evaluator =
-        FitnessEvaluator::new(&refined.graph, parts, FitnessKind::TotalCut, 1.0);
+    let evaluator = FitnessEvaluator::new(&refined.graph, parts, FitnessKind::TotalCut, 1.0);
     let greedy = greedy_neighbor_assign(&refined.graph, &initial).expect("prefix partition");
     let greedy_m = PartitionMetrics::compute(&refined.graph, &greedy);
     println!(
@@ -69,8 +70,7 @@ fn main() {
     println!("(raw balanced extension before optimization: cut {ext_cut})");
 
     assert!(
-        evaluator.evaluate(ga.best_partition.labels())
-            >= evaluator.evaluate(greedy.labels()),
+        evaluator.evaluate(ga.best_partition.labels()) >= evaluator.evaluate(greedy.labels()),
         "the GA should never lose to the greedy baseline"
     );
     println!("\nincremental GA beat or matched the deterministic baseline ✓");

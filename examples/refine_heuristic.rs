@@ -47,7 +47,10 @@ fn refine(graph: &CsrGraph, seed: &Partition, kind: FitnessKind) -> Partition {
 fn main() {
     let graph = paper_graph(167);
     let parts = 8u32;
-    println!("graph: 167 nodes, {} edges, {parts} parts\n", graph.num_edges());
+    println!(
+        "graph: 167 nodes, {} edges, {parts} parts\n",
+        graph.num_edges()
+    );
 
     let ibp = ibp_partition(&graph, parts, &IbpOptions::default()).expect("coords exist");
     let rsb = rsb_partition(&graph, parts, &RsbOptions::default()).expect("partitionable");

@@ -53,7 +53,10 @@ fn main() {
     let m = PartitionMetrics::compute(&weighted, &result.best_partition);
 
     println!("\npartition into {parts} parts (weighted objective):");
-    println!("  weighted loads : {:?} (ideal {:.1})", m.part_loads, m.avg_load);
+    println!(
+        "  weighted loads : {:?} (ideal {:.1})",
+        m.part_loads, m.avg_load
+    );
     println!("  weighted cut   : {}", m.total_cut);
     println!("  worst part cut : {}", m.max_cut);
     println!("  imbalance      : {:.1}", m.imbalance);

@@ -15,17 +15,15 @@
 //! * `grow`       — apply the paper's incremental local growth.
 
 use crate::core::incremental::incremental_ga;
-use crate::core::{
-    CrossoverOp, DpgaConfig, DpgaEngine, FitnessKind, GaConfig, GaEngine, HillClimbMode,
-};
+use crate::core::{CrossoverOp, DpgaConfig, FitnessKind, GaConfig, HillClimbMode};
 use crate::graph::generators::{gnp, grid2d, jittered_mesh, random_geometric, GridKind};
 use crate::graph::geometry::Point2;
 use crate::graph::incremental::grow_local;
 use crate::graph::io::{coords_from_text, coords_to_text, from_metis, to_metis};
 use crate::graph::partition::{Partition, PartitionMetrics};
+use crate::graph::partitioner::Partitioner;
 use crate::graph::CsrGraph;
-use crate::ibp::{ibp_partition, IbpOptions};
-use crate::rsb::{multilevel_rsb, rsb_partition, RsbOptions};
+use crate::rsb::{rsb_partition, RsbOptions};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -76,9 +74,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, CliEr
     let mut it = argv.into_iter();
     while let Some(tok) = it.next() {
         if let Some(key) = tok.strip_prefix("--") {
-            let value = it.next().ok_or_else(|| {
-                CliError::Usage(format!("flag --{key} expects a value"))
-            })?;
+            let value = it
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("flag --{key} expects a value")))?;
             if args.flags.insert(key.to_string(), value).is_some() {
                 return Err(CliError::Usage(format!("flag --{key} given twice")));
             }
@@ -240,7 +238,10 @@ fn cmd_gen(args: &Args) -> Result<String, CliError> {
                 let _ = writeln!(report, "wrote {coords_out}: {} coordinates", c.len());
             }
             None => {
-                let _ = writeln!(report, "note: {kind} graphs have no coordinates; skipped {coords_out}");
+                let _ = writeln!(
+                    report,
+                    "note: {kind} graphs have no coordinates; skipped {coords_out}"
+                );
             }
         }
     }
@@ -262,7 +263,11 @@ fn cmd_info(args: &Args) -> Result<String, CliError> {
     let _ = writeln!(out, "max degree  : {}", g.max_degree());
     let _ = writeln!(out, "components  : {components}");
     let _ = writeln!(out, "total weight: {}", g.total_node_weight());
-    let _ = writeln!(out, "coordinates : {}", if g.coords().is_some() { "yes" } else { "no" });
+    let _ = writeln!(
+        out,
+        "coordinates : {}",
+        if g.coords().is_some() { "yes" } else { "no" }
+    );
     Ok(out)
 }
 
@@ -290,45 +295,30 @@ fn cmd_partition(args: &Args) -> Result<String, CliError> {
     let pop: usize = args.flag_parse("pop", 320usize)?;
     let seed: u64 = args.flag_parse("seed", 0x5343_3934u64)?;
 
-    let partition = match method {
-        "rsb" => rsb_partition(&graph, parts, &RsbOptions { seed })
-            .map_err(|e| CliError::Failed(e.to_string()))?,
-        "mlrsb" => {
-            let opts = crate::rsb::multilevel::MultilevelOptions {
-                seed,
-                ..Default::default()
-            };
-            multilevel_rsb(&graph, parts, &opts).map_err(|e| CliError::Failed(e.to_string()))?
+    // Every method goes through the one `Partitioner` abstraction; the
+    // match only configures which implementation (and with what budget).
+    let partitioner: Box<dyn Partitioner> = match method {
+        "rsb" | "mlrsb" | "ibp" => {
+            crate::partitioners::by_name(method).expect("static names resolve")
         }
-        "ibp" => ibp_partition(&graph, parts, &IbpOptions::default())
-            .map_err(|e| CliError::Failed(e.to_string()))?,
         "ga" => {
             let mut config = GaConfig::paper_defaults(parts)
                 .with_fitness(fitness)
                 .with_population_size(pop)
                 .with_generations(gens)
-                .with_hill_climb(HillClimbMode::Offspring { passes: 1 })
-                .with_seed(seed);
+                .with_hill_climb(HillClimbMode::Offspring { passes: 1 });
             config.boundary_mutation_rate = 0.05;
             config.crossover = CrossoverOp::Dknux;
-            GaEngine::new(&graph, config)
-                .map_err(|e| CliError::Failed(e.to_string()))?
-                .run()
-                .best_partition
+            crate::partitioners::tuned_ga(config)
         }
         "dpga" => {
             let mut base = GaConfig::paper_defaults(parts)
                 .with_fitness(fitness)
                 .with_population_size(pop)
                 .with_generations(gens)
-                .with_hill_climb(HillClimbMode::Offspring { passes: 1 })
-                .with_seed(seed);
+                .with_hill_climb(HillClimbMode::Offspring { passes: 1 });
             base.boundary_mutation_rate = 0.05;
-            let config = DpgaConfig::paper(parts).with_base(base);
-            DpgaEngine::new(&graph, config)
-                .map_err(|e| CliError::Failed(e.to_string()))?
-                .run()
-                .best_partition
+            crate::partitioners::tuned_dpga(DpgaConfig::paper(parts).with_base(base))
         }
         other => {
             return Err(CliError::Usage(format!(
@@ -336,8 +326,12 @@ fn cmd_partition(args: &Args) -> Result<String, CliError> {
             )))
         }
     };
+    let report = partitioner
+        .partition(&graph, parts, seed)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let partition = report.partition;
 
-    let mut out = render_metrics(&graph, &partition, method);
+    let mut out = render_report(&report.metrics, partition.num_parts(), method);
     if let Some(out_path) = args.flag("out") {
         save_labels(out_path, &partition)?;
         let _ = writeln!(out, "labels written to {out_path}");
@@ -349,11 +343,7 @@ fn cmd_partition(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn save_svg(
-    path: &str,
-    graph: &CsrGraph,
-    partition: &Partition,
-) -> Result<(), CliError> {
+fn save_svg(path: &str, graph: &CsrGraph, partition: &Partition) -> Result<(), CliError> {
     let svg = crate::graph::svg::render_partition(
         graph,
         partition,
@@ -441,7 +431,11 @@ fn cmd_grow(args: &Args) -> Result<String, CliError> {
             .with_seed(seed);
         let res = incremental_ga(&result.graph, &old, config)
             .map_err(|e| CliError::Failed(e.to_string()))?;
-        report.push_str(&render_metrics(&result.graph, &res.best_partition, "incremental-ga"));
+        report.push_str(&render_metrics(
+            &result.graph,
+            &res.best_partition,
+            "incremental-ga",
+        ));
         if let Some(out_labels) = args.flag("labels-out") {
             save_labels(out_labels, &res.best_partition)?;
             let _ = writeln!(report, "new labels written to {out_labels}");
@@ -452,9 +446,13 @@ fn cmd_grow(args: &Args) -> Result<String, CliError> {
 
 fn render_metrics(graph: &CsrGraph, partition: &Partition, method: &str) -> String {
     let m = PartitionMetrics::compute(graph, partition);
+    render_report(&m, partition.num_parts(), method)
+}
+
+fn render_report(m: &PartitionMetrics, num_parts: u32, method: &str) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "method     : {method}");
-    let _ = writeln!(out, "parts      : {}", partition.num_parts());
+    let _ = writeln!(out, "parts      : {num_parts}");
     let _ = writeln!(out, "total cut  : {}", m.total_cut);
     let _ = writeln!(out, "worst cut  : {}", m.max_cut);
     let _ = writeln!(out, "imbalance  : {:.2}", m.imbalance);
@@ -487,8 +485,7 @@ mod tests {
 
     #[test]
     fn parser_rejects_duplicate_flags() {
-        let err =
-            parse_args("x --a 1 --a 2".split_whitespace().map(String::from)).unwrap_err();
+        let err = parse_args("x --a 1 --a 2".split_whitespace().map(String::from)).unwrap_err();
         assert!(err.to_string().contains("twice"));
     }
 

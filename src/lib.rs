@@ -29,6 +29,22 @@
 //! assert!(result.best_metrics.total_cut > 0);
 //! let _ = FitnessKind::TotalCut;
 //! ```
+//!
+//! Every algorithm is also reachable through the unified
+//! [`graph::partitioner::Partitioner`] trait via the [`partitioners`]
+//! registry — the same dispatch path the CLI's `--method` flag uses:
+//!
+//! ```
+//! use gapart::graph::generators::paper_graph;
+//! use gapart::partitioners;
+//!
+//! let graph = paper_graph(78);
+//! let rsb = partitioners::by_name("rsb").unwrap();
+//! let report = rsb.partition(&graph, 4, 42).unwrap();
+//! assert_eq!(report.algorithm, "rsb");
+//! assert_eq!(report.partition.num_nodes(), 78);
+//! assert!(report.metrics.total_cut > 0);
+//! ```
 
 pub use gapart_core as core;
 pub use gapart_graph as graph;
@@ -37,3 +53,4 @@ pub use gapart_linalg as linalg;
 pub use gapart_rsb as rsb;
 
 pub mod cli;
+pub mod partitioners;

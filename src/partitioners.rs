@@ -1,0 +1,67 @@
+//! Registry of every [`Partitioner`] in the workspace.
+//!
+//! The CLI's `--method` flag, the bench harness, and the
+//! cross-implementation contract tests all resolve algorithms here, so a
+//! new partitioner becomes available everywhere by adding one arm to
+//! [`by_name`].
+
+use crate::core::{DpgaConfig, DpgaPartitioner, GaConfig, GaPartitioner};
+use crate::graph::partitioner::Partitioner;
+use crate::ibp::IbpPartitioner;
+use crate::rsb::{MultilevelRsbPartitioner, RsbPartitioner};
+
+/// Names accepted by [`by_name`], in documentation order.
+pub const NAMES: [&str; 5] = ["dpga", "ga", "rsb", "mlrsb", "ibp"];
+
+/// Resolves a registry name to a boxed [`Partitioner`] with the paper's
+/// default configuration. Returns `None` for unknown names.
+///
+/// GA and DPGA default to the §4 protocol (population 320, DKNUX,
+/// `p_c = 0.7`, `p_m = 0.01`); callers needing other knobs construct
+/// [`GaPartitioner`] / [`DpgaPartitioner`] directly — the trait object
+/// interface is identical.
+pub fn by_name(name: &str) -> Option<Box<dyn Partitioner>> {
+    match name {
+        "dpga" => Some(Box::new(DpgaPartitioner::default())),
+        "ga" => Some(Box::new(GaPartitioner::default())),
+        "rsb" => Some(Box::new(RsbPartitioner::default())),
+        "mlrsb" => Some(Box::new(MultilevelRsbPartitioner::default())),
+        "ibp" => Some(Box::new(IbpPartitioner::default())),
+        _ => None,
+    }
+}
+
+/// One instance of every registered partitioner, in [`NAMES`] order.
+pub fn all() -> Vec<Box<dyn Partitioner>> {
+    NAMES
+        .iter()
+        .map(|n| by_name(n).expect("every registry name resolves"))
+        .collect()
+}
+
+/// GA partitioner tuned like the CLI's `partition` subcommand: smaller
+/// budget knobs than the paper protocol, boundary mutation and offspring
+/// hill climbing on.
+pub fn tuned_ga(config: GaConfig) -> Box<dyn Partitioner> {
+    Box::new(GaPartitioner::new(config))
+}
+
+/// DPGA partitioner from an explicit configuration.
+pub fn tuned_dpga(config: DpgaConfig) -> Box<dyn Partitioner> {
+    Box::new(DpgaPartitioner::new(config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_closed() {
+        for name in NAMES {
+            let p = by_name(name).unwrap();
+            assert_eq!(p.name(), name);
+        }
+        assert!(by_name("metis").is_none());
+        assert_eq!(all().len(), NAMES.len());
+    }
+}

@@ -1,0 +1,124 @@
+//! Cross-implementation contract tests for the unified [`Partitioner`]
+//! trait: every registered algorithm must return a valid, reasonably
+//! balanced partition of the same seeded mesh, deterministically — and
+//! the GA engine's rayon-parallel fitness path must be bit-identical to
+//! its sequential path.
+
+use gapart::core::{DpgaConfig, GaConfig, GaEngine, Topology};
+use gapart::graph::generators::jittered_mesh;
+use gapart::graph::partitioner::{PartitionReport, Partitioner};
+use gapart::graph::CsrGraph;
+use gapart::partitioners;
+
+const PARTS: u32 = 4;
+const SEED: u64 = 0xC0FF_EE00;
+
+fn mesh() -> CsrGraph {
+    // Jittered mesh: connected, planar-ish, and carries coordinates, so
+    // the geometry-based IBP participates too.
+    jittered_mesh(96, 7)
+}
+
+/// Small-budget instances of all five algorithms, via the same registry
+/// the CLI uses (GA/DPGA get shrunk so the suite stays fast).
+fn all_partitioners() -> Vec<Box<dyn Partitioner>> {
+    partitioners::NAMES
+        .iter()
+        .map(|&name| match name {
+            "ga" => partitioners::tuned_ga(
+                GaConfig::paper_defaults(PARTS)
+                    .with_population_size(40)
+                    .with_generations(15),
+            ),
+            "dpga" => {
+                let mut cfg = DpgaConfig::paper(PARTS);
+                cfg.topology = Topology::Hypercube(2);
+                cfg.base = GaConfig::paper_defaults(PARTS)
+                    .with_population_size(40)
+                    .with_generations(15);
+                partitioners::tuned_dpga(cfg)
+            }
+            other => partitioners::by_name(other).expect("registered name"),
+        })
+        .collect()
+}
+
+fn assert_contract(graph: &CsrGraph, report: &PartitionReport) {
+    let name = report.algorithm;
+    assert_eq!(
+        report.partition.num_nodes(),
+        graph.num_nodes(),
+        "{name}: wrong label count"
+    );
+    assert_eq!(report.partition.num_parts(), PARTS, "{name}: wrong k");
+    assert!(
+        report.partition.labels().iter().all(|&l| l < PARTS),
+        "{name}: label out of range"
+    );
+    // Balance: every part within ±50% of the ideal load. All five
+    // algorithms balance far better than this on a uniform mesh; the
+    // slack only absorbs small-budget GA noise.
+    let avg = report.metrics.avg_load;
+    for (q, &load) in report.metrics.part_loads.iter().enumerate() {
+        assert!(
+            (load as f64) > 0.5 * avg && (load as f64) < 1.5 * avg,
+            "{name}: part {q} load {load} vs ideal {avg}"
+        );
+    }
+}
+
+#[test]
+fn every_partitioner_satisfies_the_contract_on_the_same_mesh() {
+    let graph = mesh();
+    for p in all_partitioners() {
+        let report = p.partition(&graph, PARTS, SEED).unwrap();
+        assert_eq!(report.algorithm, p.name());
+        assert_contract(&graph, &report);
+    }
+}
+
+#[test]
+fn every_partitioner_is_deterministic_under_seed() {
+    let graph = mesh();
+    for p in all_partitioners() {
+        let a = p.partition(&graph, PARTS, SEED).unwrap();
+        let b = p.partition(&graph, PARTS, SEED).unwrap();
+        assert_eq!(
+            a.partition,
+            b.partition,
+            "{} differs between identical runs",
+            p.name()
+        );
+    }
+}
+
+#[test]
+fn every_partitioner_rejects_zero_parts() {
+    let graph = mesh();
+    for p in all_partitioners() {
+        assert!(p.partition(&graph, 0, SEED).is_err(), "{}", p.name());
+    }
+}
+
+#[test]
+fn parallel_fitness_evaluation_is_bit_identical_to_sequential() {
+    let graph = mesh();
+    let config = |parallel: bool| {
+        GaConfig::paper_defaults(PARTS)
+            .with_population_size(48)
+            .with_generations(20)
+            .with_seed(SEED)
+            .with_parallel(parallel)
+    };
+    // Force a real multi-thread pool so the parallel path is exercised
+    // even on single-core CI hosts.
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .unwrap();
+    let par = pool.install(|| GaEngine::new(&graph, config(true)).unwrap().run());
+    let seq = GaEngine::new(&graph, config(false)).unwrap().run();
+    assert_eq!(par.best_partition, seq.best_partition);
+    assert_eq!(par.best_fitness, seq.best_fitness);
+    assert_eq!(par.history, seq.history, "histories must match exactly");
+}

@@ -2,9 +2,9 @@
 //! crate would run, spanning graph generation, baselines, the GA, and
 //! incremental repartitioning.
 
+use gapart::core::dpga::MigrationPolicy;
 use gapart::core::incremental::{greedy_neighbor_assign, incremental_ga};
 use gapart::core::population::InitStrategy;
-use gapart::core::dpga::MigrationPolicy;
 use gapart::core::{
     CrossoverOp, DpgaConfig, DpgaEngine, FitnessEvaluator, FitnessKind, GaConfig, GaEngine,
     Topology,
@@ -37,7 +37,10 @@ fn every_paper_graph_flows_through_all_partitioners() {
                     n as u64,
                     "{name} lost nodes on n={n}, parts={parts}"
                 );
-                assert!(m.total_cut > 0, "{name} reported a zero cut on a connected mesh");
+                assert!(
+                    m.total_cut > 0,
+                    "{name} reported a zero cut on a connected mesh"
+                );
             }
         }
     }
@@ -140,12 +143,9 @@ fn worst_cut_objective_improves_its_own_metric() {
     // population's value, and the reported cut is the max cut.
     let g = paper_graph(144);
     let parts = 8;
-    let result = GaEngine::new(
-        &g,
-        quick_ga(parts, 80).with_fitness(FitnessKind::WorstCut),
-    )
-    .unwrap()
-    .run();
+    let result = GaEngine::new(&g, quick_ga(parts, 80).with_fitness(FitnessKind::WorstCut))
+        .unwrap()
+        .run();
     assert_eq!(result.best_cut, result.best_metrics.max_cut);
     let initial = result.history.best_cut[0];
     let final_cut = *result.history.best_cut.last().unwrap();
