@@ -3,11 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gapart_graph::generators::{jittered_mesh, paper_graph};
+use gapart_graph::refine::{refine_kway, RefineOptions};
 use gapart_graph::Partition;
 use gapart_ibp::index::IndexScheme;
 use gapart_ibp::{ibp_partition, IbpOptions};
 use gapart_rsb::multilevel::MultilevelOptions;
-use gapart_rsb::refine::greedy_refine;
 use gapart_rsb::{multilevel_rsb, rsb_partition, RsbOptions};
 
 fn rsb(c: &mut Criterion) {
@@ -86,12 +86,21 @@ fn unified_trait_dispatch(c: &mut Criterion) {
 
 fn refinement(c: &mut Criterion) {
     let graph = paper_graph(309);
-    let mut group = c.benchmark_group("greedy_refine_309n");
+    let mut group = c.benchmark_group("refine_kway_309n");
     group.sample_size(20);
     group.bench_function("from_round_robin_8p", |bench| {
         bench.iter_batched(
             || Partition::round_robin(309, 8),
-            |mut p| greedy_refine(&graph, &mut p, 0.05, 8),
+            |mut p| {
+                refine_kway(
+                    &graph,
+                    &mut p,
+                    &RefineOptions {
+                        balance_slack: 0.05,
+                        max_passes: 8,
+                    },
+                )
+            },
             criterion::BatchSize::SmallInput,
         )
     });

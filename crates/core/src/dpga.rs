@@ -77,6 +77,17 @@ impl DpgaConfig {
         }
     }
 
+    /// Sizing for the *coarsest* graph of a multilevel V-cycle: the
+    /// [`GaConfig::coarse_defaults`] budget split across 4 islands on a
+    /// 2-d hypercube (16 islands would leave 4 individuals each). The
+    /// registry's `mldpga` method wraps a DPGA with this configuration.
+    pub fn coarse(num_parts: u32) -> Self {
+        let mut config = Self::paper(num_parts);
+        config.base = GaConfig::coarse_defaults(num_parts);
+        config.topology = Topology::Hypercube(2);
+        config
+    }
+
     /// Replaces the base GA config.
     #[must_use]
     pub fn with_base(mut self, base: GaConfig) -> Self {

@@ -131,6 +131,21 @@ impl GaConfig {
         }
     }
 
+    /// Budget sized for the *coarsest* graph of a multilevel V-cycle
+    /// (`gapart_graph::multilevel`): such graphs carry at most a couple of
+    /// hundred nodes, so a small population with offspring hill climbing
+    /// and boundary mutation converges in tens of generations — the
+    /// paper's full §4 budget would be pure waste there. The registry's
+    /// `mlga` method wraps a GA with exactly this configuration.
+    pub fn coarse_defaults(num_parts: u32) -> Self {
+        let mut config = GaConfig::paper_defaults(num_parts);
+        config.population_size = 64;
+        config.generations = 60;
+        config.hill_climb = HillClimbMode::Offspring { passes: 1 };
+        config.boundary_mutation_rate = 0.05;
+        config
+    }
+
     /// Sets the fitness kind.
     #[must_use]
     pub fn with_fitness(mut self, kind: FitnessKind) -> Self {

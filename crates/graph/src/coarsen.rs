@@ -139,19 +139,30 @@ pub fn coarsen_hem(graph: &CsrGraph, seed: u64) -> Coarsening {
 /// Coarsens repeatedly until the graph has at most `target_nodes` nodes or
 /// a round fails to shrink it by at least 5%. Returns the levels from
 /// finest to coarsest (empty if the graph is already small enough).
+///
+/// Degenerate inputs terminate with a valid (possibly empty) level stack:
+/// an edgeless graph can never contract (HEM has nothing to match), a
+/// single-node or empty graph is already at its floor, and a star shrinks
+/// by only one pair per round until the 5% rule stops it.
 pub fn coarsen_to(graph: &CsrGraph, target_nodes: usize, seed: u64) -> Vec<Coarsening> {
     assert!(target_nodes > 0, "target must be positive");
     let mut levels: Vec<Coarsening> = Vec::new();
-    let mut current = graph.clone();
     let mut round = 0u64;
-    while current.num_nodes() > target_nodes {
-        let level = coarsen_hem(&current, seed.wrapping_add(round));
+    loop {
+        // Each level's graph is already owned by the Vec, so the next
+        // round borrows it instead of keeping a cloned "current" copy.
+        let current = levels.last().map_or(graph, |l| &l.coarse);
         let before = current.num_nodes();
-        let after = level.coarse.num_nodes();
-        if after as f64 > before as f64 * 0.95 {
+        if before <= target_nodes {
+            break;
+        }
+        if current.num_edges() == 0 {
+            break; // every vertex is isolated; a round would be a no-op
+        }
+        let level = coarsen_hem(current, seed.wrapping_add(round));
+        if level.coarse.num_nodes() as f64 > before as f64 * 0.95 {
             break; // diminishing returns (e.g. star graphs)
         }
-        current = level.coarse.clone();
         levels.push(level);
         round += 1;
     }
@@ -270,5 +281,56 @@ mod tests {
         let b = coarsen_hem(&g, 4);
         assert_eq!(a.coarse, b.coarse);
         assert_eq!(a.map, b.map);
+    }
+
+    #[test]
+    fn edgeless_graph_terminates_with_empty_stack() {
+        // No edges → HEM can never match a pair; coarsen_to must stop
+        // immediately rather than looping on no-op rounds.
+        let g = GraphBuilder::with_nodes(12).build().unwrap();
+        let levels = coarsen_to(&g, 4, 0);
+        assert!(levels.is_empty());
+        // One explicit round is a valid identity contraction.
+        let c = coarsen_hem(&g, 0);
+        assert_eq!(c.coarse.num_nodes(), 12);
+        assert_eq!(c.coarse.num_edges(), 0);
+        let p = Partition::round_robin(12, 3);
+        assert_eq!(c.project(&p).num_nodes(), 12);
+    }
+
+    #[test]
+    fn single_node_graph_is_already_coarse() {
+        let g = GraphBuilder::with_nodes(1).build().unwrap();
+        assert!(coarsen_to(&g, 1, 7).is_empty());
+        let c = coarsen_hem(&g, 7);
+        assert_eq!(c.coarse.num_nodes(), 1);
+        assert_eq!(c.map, vec![0]);
+    }
+
+    #[test]
+    fn empty_graph_is_a_no_op() {
+        let g = GraphBuilder::with_nodes(0).build().unwrap();
+        assert!(coarsen_to(&g, 1, 0).is_empty());
+        let c = coarsen_hem(&g, 0);
+        assert_eq!(c.coarse.num_nodes(), 0);
+        assert!(c.map.is_empty());
+    }
+
+    #[test]
+    fn two_singleton_components_still_project() {
+        // Mixed case: one matchable pair plus two isolated vertices.
+        let g = {
+            let mut b = GraphBuilder::with_nodes(4);
+            b.push_edge(0, 1, 1);
+            b.build().unwrap()
+        };
+        let levels = coarsen_to(&g, 2, 1);
+        assert_eq!(levels.len(), 1);
+        let coarsest = &levels.last().unwrap().coarse;
+        assert_eq!(coarsest.num_nodes(), 3);
+        let cp = Partition::round_robin(3, 3);
+        let fp = project_through(&levels, &cp);
+        assert_eq!(fp.num_nodes(), 4);
+        assert_eq!(cut_size(coarsest, &cp), cut_size(&g, &fp));
     }
 }

@@ -18,6 +18,11 @@
 //! * [`traversal`] — BFS, connected components.
 //! * [`coarsen`] — heavy-edge-matching contraction (the "prior graph
 //!   contraction step" the paper recommends for large graphs).
+//! * [`multilevel`] — the generic multilevel V-cycle:
+//!   [`multilevel::MultilevelPartitioner`] wraps *any* [`Partitioner`]
+//!   with coarsen → partition → project + refine.
+//! * [`refine`] — the shared k-way greedy boundary refinement the
+//!   V-cycle runs after each projection.
 //! * [`io`] — METIS-compatible text format with a coordinate extension.
 //!
 //! The representation is deliberately minimal and cache-friendly: node ids
@@ -35,8 +40,10 @@ pub mod generators;
 pub mod geometry;
 pub mod incremental;
 pub mod io;
+pub mod multilevel;
 pub mod partition;
 pub mod partitioner;
+pub mod refine;
 pub mod subgraph;
 pub mod svg;
 pub mod traversal;
@@ -45,5 +52,6 @@ pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use error::GraphError;
 pub use geometry::Point2;
+pub use multilevel::{MultilevelConfig, MultilevelPartitioner};
 pub use partition::{Partition, PartitionMetrics};
 pub use partitioner::{PartitionReport, Partitioner, PartitionerError};

@@ -1,0 +1,315 @@
+//! The generic multilevel V-cycle: coarsen → partition → project + refine.
+//!
+//! The paper recommends "a prior graph contraction step" before applying
+//! the GA to very large graphs; its RSB baseline (Barnard & Simon) is
+//! itself a multilevel method. Rather than hand-wiring that V-cycle into
+//! each algorithm, [`MultilevelPartitioner`] wraps **any**
+//! [`Partitioner`] and runs the standard scheme around it:
+//!
+//! ```text
+//! fine graph ──coarsen_hem──► ... ──coarsen_hem──► coarsest graph
+//!     ▲                                                  │
+//!     │ project + refine_kway        inner Partitioner   │
+//!     └───────── ... ◄──────────────────────────────────┘
+//! ```
+//!
+//! 1. **Coarsen** with heavy-edge matching ([`crate::coarsen::coarsen_to`])
+//!    until at most `coarsen_target` nodes remain (never below `2 × k`).
+//! 2. **Partition** the coarsest graph with the wrapped algorithm — GA,
+//!    DPGA, RSB, IBP, or anything else implementing the trait.
+//! 3. **Uncoarsen**: project the partition level by level back to the fine
+//!    graph ([`crate::coarsen::Coarsening::project`]), running the shared
+//!    k-way greedy refinement ([`crate::refine::refine_kway`]) after every
+//!    projection (and once on the coarsest graph before the first one).
+//!
+//! Because contraction sums node and edge weights, a coarse partition has
+//! *exactly* the same cut and loads as its projection, so every refinement
+//! pass starts from a faithful cost picture and the final cut is never
+//! worse than the projected inner solution.
+//!
+//! # Determinism
+//!
+//! The V-cycle adds no randomness of its own: coarsening is seeded from
+//! the trait's `seed` argument and refinement is deterministic, so the
+//! wrapper is deterministic-under-seed exactly when the inner algorithm
+//! is. All registered `ml*` methods therefore satisfy the full
+//! [`Partitioner`] contract (asserted by `tests/partitioner_contract.rs`
+//! at the workspace root).
+
+use crate::coarsen::coarsen_to;
+use crate::csr::CsrGraph;
+use crate::partitioner::{PartitionReport, Partitioner, PartitionerError};
+use crate::refine::{refine_kway, RefineOptions};
+
+/// Knobs of the V-cycle itself (the inner algorithm keeps its own).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultilevelConfig {
+    /// Stop coarsening once the graph has at most this many nodes. The
+    /// effective target is never below `2 × num_parts`, so the inner
+    /// algorithm always sees more nodes than parts.
+    pub coarsen_target: usize,
+    /// Per-level refinement options (balance slack and sweep budget).
+    pub refine: RefineOptions,
+}
+
+impl Default for MultilevelConfig {
+    fn default() -> Self {
+        MultilevelConfig {
+            coarsen_target: 64,
+            refine: RefineOptions::default(),
+        }
+    }
+}
+
+/// Wraps any inner [`Partitioner`] in the standard multilevel V-cycle.
+///
+/// The wrapper's registry name is supplied at construction (`"mlga"`,
+/// `"mldpga"`, `"mlrsb"`, `"mlibp"`, …) because [`Partitioner::name`]
+/// returns `&'static str` — the composed name cannot be derived from the
+/// inner one at runtime.
+pub struct MultilevelPartitioner {
+    name: &'static str,
+    inner: Box<dyn Partitioner>,
+    /// V-cycle knobs; the inner algorithm's configuration lives in the
+    /// inner partitioner itself.
+    pub config: MultilevelConfig,
+}
+
+impl MultilevelPartitioner {
+    /// Wraps `inner` with the default [`MultilevelConfig`].
+    pub fn new(name: &'static str, inner: Box<dyn Partitioner>) -> Self {
+        Self::with_config(name, inner, MultilevelConfig::default())
+    }
+
+    /// Wraps `inner` with explicit V-cycle knobs.
+    pub fn with_config(
+        name: &'static str,
+        inner: Box<dyn Partitioner>,
+        config: MultilevelConfig,
+    ) -> Self {
+        MultilevelPartitioner {
+            name,
+            inner,
+            config,
+        }
+    }
+
+    /// The wrapped coarsest-level algorithm.
+    pub fn inner(&self) -> &dyn Partitioner {
+        self.inner.as_ref()
+    }
+}
+
+impl std::fmt::Debug for MultilevelPartitioner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultilevelPartitioner")
+            .field("name", &self.name)
+            .field("inner", &self.inner.name())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl Partitioner for MultilevelPartitioner {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn partition(
+        &self,
+        graph: &CsrGraph,
+        num_parts: u32,
+        seed: u64,
+    ) -> Result<PartitionReport, PartitionerError> {
+        let n = graph.num_nodes();
+        if num_parts == 0 || num_parts as usize > n {
+            return Err(PartitionerError::new(format!(
+                "cannot split {n} nodes into {num_parts} parts"
+            )));
+        }
+        // Never coarsen below the part count; HEM at most halves per
+        // round, so the coarsest graph keeps strictly more nodes than k.
+        let target = self.config.coarsen_target.max(num_parts as usize * 2);
+        let levels = coarsen_to(graph, target, seed);
+        let coarsest = levels.last().map_or(graph, |l| &l.coarse);
+
+        let mut partition = self.inner.partition(coarsest, num_parts, seed)?.partition;
+        refine_kway(coarsest, &mut partition, &self.config.refine);
+
+        // Uncoarsen: project through each level, refining on the finer
+        // graph after every projection.
+        for (i, level) in levels.iter().enumerate().rev() {
+            partition = level.project(&partition);
+            let fine = if i == 0 { graph } else { &levels[i - 1].coarse };
+            refine_kway(fine, &mut partition, &self.config.refine);
+        }
+        Ok(PartitionReport::new(self.name, graph, partition))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::coarsen::project_through;
+    use crate::generators::{grid2d, jittered_mesh, GridKind};
+    use crate::partition::{cut_size, Partition};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    /// Deterministic inner fixture: contiguous block assignment. Being a
+    /// crate-local impl it also proves the framework needs nothing from
+    /// the algorithm crates above `gapart-graph`.
+    struct Blocks;
+
+    impl Partitioner for Blocks {
+        fn name(&self) -> &'static str {
+            "blocks"
+        }
+
+        fn partition(
+            &self,
+            graph: &CsrGraph,
+            num_parts: u32,
+            _seed: u64,
+        ) -> Result<PartitionReport, PartitionerError> {
+            if num_parts == 0 || num_parts as usize > graph.num_nodes() {
+                return Err(PartitionerError::new("bad part count"));
+            }
+            let p = Partition::blocks(graph.num_nodes(), num_parts);
+            Ok(PartitionReport::new(self.name(), graph, p))
+        }
+    }
+
+    fn ml_blocks() -> MultilevelPartitioner {
+        MultilevelPartitioner::new("mlblocks", Box::new(Blocks))
+    }
+
+    #[test]
+    fn projects_back_to_full_size_with_valid_labels() {
+        let g = jittered_mesh(500, 3);
+        let report = ml_blocks().partition(&g, 4, 7).unwrap();
+        assert_eq!(report.algorithm, "mlblocks");
+        assert_eq!(report.partition.num_nodes(), 500);
+        assert!(report.partition.labels().iter().all(|&l| l < 4));
+        assert_eq!(report.metrics.part_loads.iter().sum::<u64>(), 500);
+    }
+
+    #[test]
+    fn refinement_never_worsens_the_projected_inner_cut() {
+        let g = grid2d(24, 24, GridKind::FourConnected);
+        let ml = ml_blocks();
+        let report = ml.partition(&g, 4, 11).unwrap();
+        // Recompute the raw projected solution (deterministic pipeline).
+        let levels = coarsen_to(&g, ml.config.coarsen_target.max(8), 11);
+        let coarsest = levels.last().map_or(&g, |l| &l.coarse);
+        let coarse_p = Blocks.partition(coarsest, 4, 11).unwrap().partition;
+        let projected = project_through(&levels, &coarse_p);
+        assert!(
+            report.metrics.total_cut <= cut_size(&g, &projected),
+            "V-cycle cut {} worse than raw projection {}",
+            report.metrics.total_cut,
+            cut_size(&g, &projected)
+        );
+    }
+
+    #[test]
+    fn small_graph_skips_coarsening_and_reaches_the_inner_directly() {
+        // Probe inner that records the node count it was handed.
+        struct Probe(Rc<Cell<usize>>);
+        impl Partitioner for Probe {
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+            fn partition(
+                &self,
+                graph: &CsrGraph,
+                num_parts: u32,
+                _seed: u64,
+            ) -> Result<PartitionReport, PartitionerError> {
+                self.0.set(graph.num_nodes());
+                let p = Partition::blocks(graph.num_nodes(), num_parts);
+                Ok(PartitionReport::new(self.name(), graph, p))
+            }
+        }
+        let seen = Rc::new(Cell::new(0usize));
+        let g = jittered_mesh(40, 1);
+        // 40 ≤ default target 64: the inner must see the original graph.
+        let ml = MultilevelPartitioner::new("mlprobe", Box::new(Probe(Rc::clone(&seen))));
+        let report = ml.partition(&g, 2, 0).unwrap();
+        assert_eq!(seen.get(), 40, "inner saw a coarsened graph");
+        assert_eq!(report.partition.num_nodes(), 40);
+    }
+
+    #[test]
+    fn rejects_bad_part_counts_without_panicking() {
+        let g = jittered_mesh(30, 5);
+        let ml = ml_blocks();
+        assert!(ml.partition(&g, 0, 1).is_err());
+        assert!(ml.partition(&g, 31, 1).is_err());
+    }
+
+    #[test]
+    fn inner_errors_propagate() {
+        struct Fails;
+        impl Partitioner for Fails {
+            fn name(&self) -> &'static str {
+                "fails"
+            }
+            fn partition(
+                &self,
+                _graph: &CsrGraph,
+                _num_parts: u32,
+                _seed: u64,
+            ) -> Result<PartitionReport, PartitionerError> {
+                Err(PartitionerError::new("inner exploded"))
+            }
+        }
+        let g = jittered_mesh(200, 2);
+        let ml = MultilevelPartitioner::new("mlfails", Box::new(Fails));
+        let err = ml.partition(&g, 4, 0).unwrap_err();
+        assert!(err.message().contains("inner exploded"));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = jittered_mesh(300, 9);
+        let ml = ml_blocks();
+        let a = ml.partition(&g, 8, 42).unwrap();
+        let b = ml.partition(&g, 8, 42).unwrap();
+        assert_eq!(a.partition, b.partition);
+        // A different seed shuffles the matching order, which is allowed
+        // to (and on meshes does) change the result.
+        let c = ml.partition(&g, 8, 43).unwrap();
+        assert_eq!(c.partition.num_nodes(), 300);
+    }
+
+    #[test]
+    fn edgeless_graph_terminates_and_covers_every_node() {
+        let g = crate::builder::GraphBuilder::with_nodes(20)
+            .build()
+            .unwrap();
+        let report = ml_blocks().partition(&g, 4, 3).unwrap();
+        assert_eq!(report.partition.num_nodes(), 20);
+        assert_eq!(report.metrics.total_cut, 0);
+    }
+
+    #[test]
+    fn custom_config_is_honoured() {
+        let g = from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5), (2, 3)]).unwrap();
+        let ml = MultilevelPartitioner::with_config(
+            "mlblocks",
+            Box::new(Blocks),
+            MultilevelConfig {
+                coarsen_target: 2,
+                refine: RefineOptions {
+                    balance_slack: 0.5,
+                    max_passes: 2,
+                },
+            },
+        );
+        assert_eq!(ml.inner().name(), "blocks");
+        let report = ml.partition(&g, 2, 1).unwrap();
+        assert_eq!(report.partition.num_nodes(), 6);
+    }
+}

@@ -66,6 +66,48 @@ proptest! {
         prop_assert_eq!(g.node_weights(), g2.node_weights());
     }
 
+    /// Contraction sums node and edge weights, so a partition of any
+    /// coarse level has *exactly* the same cut and loads as its lifted
+    /// fine partition — the invariant `coarsen.rs` documents and the
+    /// multilevel V-cycle's refinement correctness rests on.
+    #[test]
+    fn projection_preserves_partition_cost_exactly(
+        (n, edges) in arb_graph(),
+        parts in 2u32..6,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let g = GraphBuilder::with_nodes(n).edges(edges.iter().copied()).build().unwrap();
+        let target = (n / 3).max(2);
+        let levels = coarsen_to(&g, target, seed);
+        let coarsest = levels.last().map_or(&g, |l| &l.coarse);
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x6c69_6674);
+        let labels: Vec<u32> = (0..coarsest.num_nodes()).map(|_| rng.gen_range(0..parts)).collect();
+        let cp = Partition::new(labels, parts).unwrap();
+
+        // Through the whole stack at once…
+        let fp = project_through(&levels, &cp);
+        prop_assert_eq!(fp.num_nodes(), n);
+        prop_assert_eq!(cut_size(coarsest, &cp), cut_size(&g, &fp));
+        let mc = PartitionMetrics::compute(coarsest, &cp);
+        let mf = PartitionMetrics::compute(&g, &fp);
+        prop_assert_eq!(mc.part_loads, mf.part_loads);
+        prop_assert_eq!(mc.part_cuts, mf.part_cuts);
+        prop_assert_eq!(mc.max_cut, mf.max_cut);
+
+        // …and one level at a time, each hop preserving the cut.
+        let mut p = cp;
+        let mut cut = cut_size(coarsest, &p);
+        for (i, level) in levels.iter().enumerate().rev() {
+            p = level.project(&p);
+            let fine = if i == 0 { &g } else { &levels[i - 1].coarse };
+            let fine_cut = cut_size(fine, &p);
+            prop_assert_eq!(cut, fine_cut, "cut changed at level {}", i);
+            cut = fine_cut;
+        }
+    }
+
     #[test]
     fn components_partition_the_nodes((n, edges) in arb_graph()) {
         let g = GraphBuilder::with_nodes(n).edges(edges.iter().copied()).build().unwrap();

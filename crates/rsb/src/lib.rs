@@ -9,12 +9,12 @@
 //! * [`bisect`] — median bisection and the full recursive partitioner,
 //!   supporting any part count (not just powers of two) via proportional
 //!   splits.
-//! * [`multilevel`] — Barnard–Simon-style multilevel RSB: coarsen with
-//!   heavy-edge matching, partition the coarse graph, project back, and
-//!   greedily refine boundaries at each level. This is the "prior graph
-//!   contraction step" the paper recommends for large graphs.
-//! * [`refine`] — the greedy boundary refinement shared by the multilevel
-//!   driver.
+//! * [`multilevel`] — Barnard–Simon-style multilevel RSB, instantiated
+//!   from the generic V-cycle in [`gapart_graph::multilevel`] (coarsen
+//!   with heavy-edge matching, partition the coarsest graph, project back
+//!   with the shared k-way refinement from [`gapart_graph::refine`]).
+//!   This is the "prior graph contraction step" the paper recommends for
+//!   large graphs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,7 +24,6 @@ pub mod fiedler;
 pub mod laplacian;
 pub mod multilevel;
 pub mod partitioner_impl;
-pub mod refine;
 
 pub use bisect::{rsb_bisect, rsb_partition, RsbOptions};
 pub use fiedler::fiedler_vector;

@@ -1,11 +1,21 @@
 //! Multilevel RSB (Barnard & Simon '92) — the "prior graph contraction
 //! step" the paper recommends before partitioning large graphs.
+//!
+//! Since the generic V-cycle moved into
+//! [`gapart_graph::multilevel::MultilevelPartitioner`], this module is a
+//! thin instantiation: it wraps plain RSB in the shared framework
+//! (coarsen with heavy-edge matching, spectral-partition the coarsest
+//! graph, project back with k-way greedy refinement per level) and merely
+//! translates its historical options/error types.
 
 use crate::bisect::{rsb_partition, RsbOptions};
-use crate::refine::greedy_refine;
 use crate::RsbError;
-use gapart_graph::coarsen::coarsen_to;
+use gapart_graph::multilevel::{MultilevelConfig, MultilevelPartitioner};
+use gapart_graph::partitioner::{PartitionReport, Partitioner, PartitionerError};
+use gapart_graph::refine::RefineOptions;
 use gapart_graph::{CsrGraph, Partition};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Options for [`multilevel_rsb`].
 #[derive(Debug, Clone)]
@@ -21,26 +31,42 @@ pub struct MultilevelOptions {
 }
 
 impl Default for MultilevelOptions {
+    /// V-cycle knobs come from [`MultilevelConfig::default`] — a single
+    /// source — plus RSB's historical default seed.
     fn default() -> Self {
+        let config = MultilevelConfig::default();
         MultilevelOptions {
-            coarsen_target: 64,
-            balance_slack: 0.05,
-            refine_passes: 4,
+            coarsen_target: config.coarsen_target,
+            balance_slack: config.refine.balance_slack,
+            refine_passes: config.refine.max_passes,
             seed: 0x4d4c_5253, // "MLRS"
         }
     }
 }
 
-/// Partitions `graph` into `num_parts` parts by coarsening with heavy-edge
-/// matching, running plain RSB on the coarsest graph, then projecting back
-/// level by level with greedy boundary refinement after each projection.
+impl MultilevelOptions {
+    /// The generic [`MultilevelConfig`] these options describe (everything
+    /// except the seed, which the framework takes per call).
+    pub fn to_config(&self) -> MultilevelConfig {
+        MultilevelConfig {
+            coarsen_target: self.coarsen_target,
+            refine: RefineOptions {
+                balance_slack: self.balance_slack,
+                max_passes: self.refine_passes,
+            },
+        }
+    }
+}
+
+/// Partitions `graph` into `num_parts` parts via the shared multilevel
+/// V-cycle with plain RSB on the coarsest graph.
 ///
 /// For graphs already at or below `coarsen_target` nodes this degenerates
 /// to plain RSB plus one refinement pass.
 ///
 /// # Errors
 ///
-/// Same error conditions as [`rsb_partition`].
+/// Same error conditions as [`crate::bisect::rsb_partition`].
 pub fn multilevel_rsb(
     graph: &CsrGraph,
     num_parts: u32,
@@ -53,37 +79,60 @@ pub fn multilevel_rsb(
             num_nodes: n,
         });
     }
-    // Never coarsen below the part count.
-    let target = opts.coarsen_target.max(num_parts as usize * 2);
-    let levels = coarsen_to(graph, target, opts.seed);
-    let rsb_opts = RsbOptions { seed: opts.seed };
-
-    let coarsest_graph = levels.last().map_or(graph, |l| &l.coarse);
-    let mut partition = rsb_partition(coarsest_graph, num_parts, &rsb_opts)?;
-    greedy_refine(
-        coarsest_graph,
-        &mut partition,
-        opts.balance_slack,
-        opts.refine_passes,
-    );
-
-    // Uncoarsen: project through each level, refining on the finer graph.
-    for (i, level) in levels.iter().enumerate().rev() {
-        partition = level.project(&partition);
-        let fine_graph = if i == 0 { graph } else { &levels[i - 1].coarse };
-        greedy_refine(
-            fine_graph,
-            &mut partition,
-            opts.balance_slack,
-            opts.refine_passes,
-        );
+    // The framework's error type flattens to a message; to keep this
+    // function's typed `RsbError` contract without re-parsing Display
+    // output, the inner partitioner stashes the concrete error before
+    // flattening it.
+    struct CapturingRsb {
+        captured: Rc<RefCell<Option<RsbError>>>,
     }
-    Ok(partition)
+    impl Partitioner for CapturingRsb {
+        fn name(&self) -> &'static str {
+            "rsb"
+        }
+        fn partition(
+            &self,
+            graph: &CsrGraph,
+            num_parts: u32,
+            seed: u64,
+        ) -> Result<PartitionReport, PartitionerError> {
+            let rsb_opts = RsbOptions { seed };
+            match rsb_partition(graph, num_parts, &rsb_opts) {
+                Ok(p) => Ok(PartitionReport::new(self.name(), graph, p)),
+                Err(e) => {
+                    let flat = PartitionerError::new(&e);
+                    *self.captured.borrow_mut() = Some(e);
+                    Err(flat)
+                }
+            }
+        }
+    }
+
+    let captured = Rc::new(RefCell::new(None));
+    let ml = MultilevelPartitioner::with_config(
+        "mlrsb",
+        Box::new(CapturingRsb {
+            captured: Rc::clone(&captured),
+        }),
+        opts.to_config(),
+    );
+    ml.partition(graph, num_parts, opts.seed)
+        .map(|report| report.partition)
+        .map_err(|e| {
+            captured
+                .borrow_mut()
+                .take()
+                // Unreachable today (the only inner error source is
+                // rsb_partition, captured above), but a typed fallback
+                // beats a panic if the framework ever errors itself.
+                .unwrap_or_else(|| RsbError::Eigensolver(e.message().to_string()))
+        })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bisect::{rsb_partition, RsbOptions};
     use gapart_graph::generators::{jittered_mesh, paper_graph};
     use gapart_graph::partition::PartitionMetrics;
 
@@ -136,6 +185,10 @@ mod tests {
     fn rejects_bad_part_counts() {
         let g = paper_graph(78);
         assert!(multilevel_rsb(&g, 0, &MultilevelOptions::default()).is_err());
+        assert!(matches!(
+            multilevel_rsb(&g, 100, &MultilevelOptions::default()),
+            Err(RsbError::BadPartCount { .. })
+        ));
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! [`Partitioner`] implementations for plain and multilevel RSB.
 
 use crate::bisect::{rsb_partition, RsbOptions};
-use crate::multilevel::{multilevel_rsb, MultilevelOptions};
+use crate::multilevel::MultilevelOptions;
+use gapart_graph::multilevel::MultilevelPartitioner;
 use gapart_graph::partitioner::{PartitionReport, Partitioner, PartitionerError};
 use gapart_graph::CsrGraph;
 
@@ -33,10 +34,15 @@ impl Partitioner for RsbPartitioner {
     }
 }
 
-/// Multilevel RSB (coarsen → RSB → project + refine) as a [`Partitioner`].
+/// Multilevel RSB as a [`Partitioner`]: the generic
+/// [`MultilevelPartitioner`] V-cycle with plain RSB on the coarsest
+/// graph. This is the single construction path the registry's `mlrsb`
+/// name resolves to; [`crate::multilevel::multilevel_rsb`] is the
+/// `RsbError`-typed convenience over the same pipeline.
 #[derive(Debug, Clone, Default)]
 pub struct MultilevelRsbPartitioner {
-    /// Template options; the per-call seed replaces `options.seed`.
+    /// Template V-cycle options; the per-call seed replaces
+    /// `options.seed`.
     pub options: MultilevelOptions,
 }
 
@@ -51,12 +57,12 @@ impl Partitioner for MultilevelRsbPartitioner {
         num_parts: u32,
         seed: u64,
     ) -> Result<PartitionReport, PartitionerError> {
-        let opts = MultilevelOptions {
-            seed,
-            ..self.options.clone()
-        };
-        let p = multilevel_rsb(graph, num_parts, &opts).map_err(PartitionerError::new)?;
-        Ok(PartitionReport::new(self.name(), graph, p))
+        let ml = MultilevelPartitioner::with_config(
+            self.name(),
+            Box::new(RsbPartitioner::default()),
+            self.options.to_config(),
+        );
+        ml.partition(graph, num_parts, seed)
     }
 }
 

@@ -2,7 +2,7 @@
 
 use gapart_graph::generators::jittered_mesh;
 use gapart_graph::partition::{cut_size, Partition, PartitionMetrics};
-use gapart_rsb::refine::greedy_refine;
+use gapart_graph::refine::{refine_kway, RefineOptions};
 use gapart_rsb::{fiedler_vector, laplacian, multilevel_rsb, rsb_partition, RsbOptions};
 use proptest::prelude::*;
 
@@ -85,7 +85,14 @@ proptest! {
         let mut p = Partition::new(labels, parts).unwrap();
         let before = cut_size(&g, &p);
         let loads_before: Vec<u64> = PartitionMetrics::compute(&g, &p).part_loads;
-        let stats = greedy_refine(&g, &mut p, slack, 6);
+        let stats = refine_kway(
+            &g,
+            &mut p,
+            &RefineOptions {
+                balance_slack: slack,
+                max_passes: 6,
+            },
+        );
         let after = cut_size(&g, &p);
         prop_assert!(after <= before);
         prop_assert_eq!(before - after, stats.gain);

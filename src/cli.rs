@@ -9,8 +9,9 @@
 //! * `gen`        — generate a graph (mesh / grid / geometric / gnp) to
 //!   METIS format plus an optional coordinate file.
 //! * `info`       — print graph statistics.
-//! * `partition`  — partition with `dpga` (default), `ga`, `rsb`,
-//!   `mlrsb`, or `ibp`; writes one part label per line.
+//! * `partition`  — partition with `dpga` (default), `ga`, `rsb`, `ibp`,
+//!   or a multilevel wrapper (`mldpga`, `mlga`, `mlrsb`, `mlibp`); writes
+//!   one part label per line.
 //! * `eval`       — score an existing partition file.
 //! * `grow`       — apply the paper's incremental local growth.
 
@@ -115,9 +116,13 @@ USAGE:
   gapart-cli gen --kind mesh|grid|geometric|gnp --nodes N [--seed S]
              --out g.metis [--coords-out g.xy]
   gapart-cli info GRAPH.metis
-  gapart-cli partition GRAPH.metis --parts P [--method dpga|ga|rsb|mlrsb|ibp]
+  gapart-cli partition GRAPH.metis --parts P
+             [--method dpga|ga|rsb|ibp|mldpga|mlga|mlrsb|mlibp]
              [--fitness total|worst] [--gens G] [--pop SIZE] [--seed S]
              [--coords G.xy] [--out labels.part] [--svg view.svg]
+             (ml* methods are the multilevel V-cycle; mlga/mldpga honour
+              --fitness and default --gens/--pop to the coarse-level
+              sizing, applying them only when given explicitly)
   gapart-cli eval GRAPH.metis LABELS.part --parts P [--coords G.xy]
              [--svg view.svg]
   gapart-cli grow GRAPH.metis --coords G.xy --add K [--seed S]
@@ -297,9 +302,35 @@ fn cmd_partition(args: &Args) -> Result<String, CliError> {
 
     // Every method goes through the one `Partitioner` abstraction; the
     // match only configures which implementation (and with what budget).
+    // The multilevel GA methods honour --fitness like their flat twins
+    // but use the coarse-level sizing — the V-cycle, not --gens/--pop,
+    // sets their budget.
     let partitioner: Box<dyn Partitioner> = match method {
-        "rsb" | "mlrsb" | "ibp" => {
+        "rsb" | "ibp" | "mlrsb" | "mlibp" => {
             crate::partitioners::by_name(method).expect("static names resolve")
+        }
+        "mlga" => {
+            let mut config = GaConfig::coarse_defaults(parts).with_fitness(fitness);
+            // Coarse-level sizing is the default, but an explicit budget
+            // request wins — silently discarding a flag would be worse.
+            if args.flag("pop").is_some() {
+                config.population_size = pop;
+            }
+            if args.flag("gens").is_some() {
+                config.generations = gens;
+            }
+            crate::partitioners::multilevel("mlga", crate::partitioners::tuned_ga(config))
+        }
+        "mldpga" => {
+            let mut cfg = DpgaConfig::coarse(parts);
+            cfg.base = cfg.base.with_fitness(fitness);
+            if args.flag("pop").is_some() {
+                cfg.base.population_size = pop;
+            }
+            if args.flag("gens").is_some() {
+                cfg.base.generations = gens;
+            }
+            crate::partitioners::multilevel("mldpga", crate::partitioners::tuned_dpga(cfg))
         }
         "ga" => {
             let mut config = GaConfig::paper_defaults(parts)
@@ -322,7 +353,7 @@ fn cmd_partition(args: &Args) -> Result<String, CliError> {
         }
         other => {
             return Err(CliError::Usage(format!(
-                "--method {other}: expected dpga|ga|rsb|mlrsb|ibp"
+                "--method {other}: expected dpga|ga|rsb|ibp|mldpga|mlga|mlrsb|mlibp"
             )))
         }
     };

@@ -4,29 +4,54 @@
 //! cross-implementation contract tests all resolve algorithms here, so a
 //! new partitioner becomes available everywhere by adding one arm to
 //! [`by_name`].
+//!
+//! The `ml*` names wrap their flat counterparts in the generic multilevel
+//! V-cycle ([`gapart_graph::multilevel::MultilevelPartitioner`]): coarsen
+//! with heavy-edge matching, run the inner algorithm on the coarsest
+//! graph, project back level by level with shared k-way refinement. The
+//! GA-based inners use the coarse-level sizings
+//! ([`GaConfig::coarse_defaults`] / [`DpgaConfig::coarse`]) because the
+//! coarsest graph has only ~64–128 nodes.
 
 use crate::core::{DpgaConfig, DpgaPartitioner, GaConfig, GaPartitioner};
+use crate::graph::multilevel::MultilevelPartitioner;
 use crate::graph::partitioner::Partitioner;
 use crate::ibp::IbpPartitioner;
 use crate::rsb::{MultilevelRsbPartitioner, RsbPartitioner};
 
-/// Names accepted by [`by_name`], in documentation order.
-pub const NAMES: [&str; 5] = ["dpga", "ga", "rsb", "mlrsb", "ibp"];
+/// Names accepted by [`by_name`], in documentation order: the flat
+/// algorithms first, then their multilevel wrappers.
+pub const NAMES: [&str; 8] = [
+    "dpga", "ga", "rsb", "ibp", "mldpga", "mlga", "mlrsb", "mlibp",
+];
 
 /// Resolves a registry name to a boxed [`Partitioner`] with the paper's
 /// default configuration. Returns `None` for unknown names.
 ///
 /// GA and DPGA default to the §4 protocol (population 320, DKNUX,
-/// `p_c = 0.7`, `p_m = 0.01`); callers needing other knobs construct
-/// [`GaPartitioner`] / [`DpgaPartitioner`] directly — the trait object
+/// `p_c = 0.7`, `p_m = 0.01`); their multilevel variants use the smaller
+/// coarse-level sizing since the inner GA only ever sees the coarsest
+/// graph. Callers needing other knobs construct [`GaPartitioner`] /
+/// [`DpgaPartitioner`] (or [`multilevel`]) directly — the trait object
 /// interface is identical.
 pub fn by_name(name: &str) -> Option<Box<dyn Partitioner>> {
     match name {
         "dpga" => Some(Box::new(DpgaPartitioner::default())),
         "ga" => Some(Box::new(GaPartitioner::default())),
         "rsb" => Some(Box::new(RsbPartitioner::default())),
-        "mlrsb" => Some(Box::new(MultilevelRsbPartitioner::default())),
         "ibp" => Some(Box::new(IbpPartitioner::default())),
+        "mldpga" => Some(multilevel(
+            "mldpga",
+            Box::new(DpgaPartitioner::new(DpgaConfig::coarse(2))),
+        )),
+        "mlga" => Some(multilevel(
+            "mlga",
+            Box::new(GaPartitioner::new(GaConfig::coarse_defaults(2))),
+        )),
+        // `mlrsb` resolves to the rsb crate's own framework instantiation
+        // so its `MultilevelOptions` stay the one source of V-cycle knobs.
+        "mlrsb" => Some(Box::new(MultilevelRsbPartitioner::default())),
+        "mlibp" => Some(multilevel("mlibp", Box::new(IbpPartitioner::default()))),
         _ => None,
     }
 }
@@ -51,6 +76,13 @@ pub fn tuned_dpga(config: DpgaConfig) -> Box<dyn Partitioner> {
     Box::new(DpgaPartitioner::new(config))
 }
 
+/// Wraps any partitioner in the generic multilevel V-cycle under the
+/// given registry name (e.g. a custom-budget GA as the coarsest-level
+/// algorithm).
+pub fn multilevel(name: &'static str, inner: Box<dyn Partitioner>) -> Box<dyn Partitioner> {
+    Box::new(MultilevelPartitioner::new(name, inner))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,5 +95,20 @@ mod tests {
         }
         assert!(by_name("metis").is_none());
         assert_eq!(all().len(), NAMES.len());
+    }
+
+    #[test]
+    fn every_flat_method_has_a_multilevel_twin() {
+        for name in NAMES {
+            if let Some(flat) = name.strip_prefix("ml") {
+                assert!(
+                    NAMES.contains(&flat),
+                    "{name} wraps unregistered method {flat}"
+                );
+            } else {
+                let ml = format!("ml{name}");
+                assert!(by_name(&ml).is_some(), "{name} has no multilevel twin");
+            }
+        }
     }
 }

@@ -19,8 +19,9 @@ fn mesh() -> CsrGraph {
     jittered_mesh(96, 7)
 }
 
-/// Small-budget instances of all five algorithms, via the same registry
-/// the CLI uses (GA/DPGA get shrunk so the suite stays fast).
+/// Small-budget instances of all eight algorithms, via the same registry
+/// the CLI uses (flat GA/DPGA get shrunk so the suite stays fast; the
+/// multilevel GA methods already carry the coarse-level sizing).
 fn all_partitioners() -> Vec<Box<dyn Partitioner>> {
     partitioners::NAMES
         .iter()
@@ -79,16 +80,47 @@ fn every_partitioner_satisfies_the_contract_on_the_same_mesh() {
 
 #[test]
 fn every_partitioner_is_deterministic_under_seed() {
+    // One run inside a forced 4-thread pool, one on the caller's thread:
+    // the contract demands identical results regardless of pool size,
+    // even on single-core CI hosts where rayon degrades to sequential.
     let graph = mesh();
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .unwrap();
     for p in all_partitioners() {
-        let a = p.partition(&graph, PARTS, SEED).unwrap();
+        let a = pool.install(|| p.partition(&graph, PARTS, SEED).unwrap());
         let b = p.partition(&graph, PARTS, SEED).unwrap();
         assert_eq!(
             a.partition,
             b.partition,
-            "{} differs between identical runs",
+            "{} differs between 4-thread and direct runs",
             p.name()
         );
+    }
+}
+
+#[test]
+fn multilevel_methods_handle_an_edgeless_graph_without_panicking() {
+    // 24 isolated nodes (with coordinates, so IBP participates): there is
+    // nothing to coarsen and nothing to cut. Every ml* method must either
+    // return a valid zero-cut partition or a clean error — never panic.
+    let mut builder = gapart::graph::GraphBuilder::with_nodes(24);
+    builder = builder.coords(
+        (0..24)
+            .map(|i| gapart::graph::Point2::new(f64::from(i % 6), f64::from(i / 6)))
+            .collect(),
+    );
+    let graph = builder.build().unwrap();
+    for name in ["mldpga", "mlga", "mlrsb", "mlibp"] {
+        let p = partitioners::by_name(name).unwrap();
+        match p.partition(&graph, PARTS, SEED) {
+            Ok(report) => {
+                assert_eq!(report.partition.num_nodes(), 24, "{name}");
+                assert_eq!(report.metrics.total_cut, 0, "{name}");
+            }
+            Err(e) => assert!(!e.message().is_empty(), "{name}"),
+        }
     }
 }
 

@@ -50,6 +50,54 @@ proptest! {
         prop_assert!((e2.evaluate(&labels) - expected2).abs() < 1e-6);
     }
 
+    /// The two independent cost tallies — `FitnessEvaluator::evaluate`
+    /// (gapart-core, the GA hot path) and `PartitionMetrics::compute`
+    /// (gapart-graph, what reports and refinement use) — must agree on
+    /// imbalance and cut for arbitrary random graphs with random node and
+    /// edge weights, not just uniform meshes. They duplicate the cut loop
+    /// independently; this pins them together.
+    #[test]
+    fn evaluator_and_metrics_agree_on_random_weighted_graphs(
+        n in 4usize..120,
+        parts in 2u32..7,
+        p_edge in 0.05f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        use gapart::graph::generators::gnp;
+        use gapart::graph::GraphBuilder;
+
+        // Random topology, then re-weight nodes and edges randomly.
+        let base = gnp(n, p_edge, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5);
+        let mut b = GraphBuilder::with_nodes(n);
+        for (u, v, _) in base.edges() {
+            b.push_edge(u, v, rng.gen_range(1..20));
+        }
+        let g = b
+            .node_weights((0..n).map(|_| rng.gen_range(1..10)).collect())
+            .build()
+            .unwrap();
+
+        let labels: Vec<u32> = (0..n).map(|_| rng.gen_range(0..parts)).collect();
+        let partition = Partition::new(labels.clone(), parts).unwrap();
+        let m = PartitionMetrics::compute(&g, &partition);
+
+        // Fitness 1: −(imbalance + λ·ΣC(q)) with ΣC(q) = 2·total_cut.
+        let e1 = FitnessEvaluator::new(&g, parts, FitnessKind::TotalCut, 1.0);
+        prop_assert!(
+            (e1.evaluate(&labels) + m.imbalance + (2 * m.total_cut) as f64).abs() < 1e-6
+        );
+        prop_assert_eq!(e1.reported_cut(&labels), m.total_cut);
+        // Fitness 2: −(imbalance + λ·max C(q)).
+        let e2 = FitnessEvaluator::new(&g, parts, FitnessKind::WorstCut, 1.0);
+        prop_assert!(
+            (e2.evaluate(&labels) + m.imbalance + m.max_cut as f64).abs() < 1e-6
+        );
+        prop_assert_eq!(e2.reported_cut(&labels), m.max_cut);
+        // And both agree with the standalone cut helper.
+        prop_assert_eq!(m.total_cut, cut_size(&g, &partition));
+    }
+
     /// Every crossover operator conserves genes: each offspring gene comes
     /// from one of the parents at the same locus.
     #[test]
