@@ -1,0 +1,679 @@
+//! Streaming dynamic repartitioning: maintain a partition across a
+//! mutation stream.
+//!
+//! This is the production generalization of the paper's one-shot
+//! incremental experiment (§3.5, §4.2). A [`DynamicSession`] owns the
+//! current graph and partition and applies
+//! [`gapart_graph::dynamic::Mutation`] batches with a three-stage
+//! pipeline per batch:
+//!
+//! 1. **Seed** — new nodes are assigned by *both* of the paper's
+//!    policies: the §3.5 balanced extension
+//!    ([`crate::incremental::extend_partition_balanced`]) and the
+//!    conclusion's neighbour-majority baseline
+//!    ([`crate::incremental::greedy_neighbor_assign`]); the candidate
+//!    with the lower composite cost (`Σ I(q) + λ Σ C(q)`, the paper's
+//!    Fitness-1 objective) wins, ties toward the balanced policy.
+//! 2. **Localized refine** —
+//!    [`gapart_graph::refine::refine_kway_local`] sweeps only the dirty
+//!    frontier (the mutated nodes plus a configurable BFS halo). The
+//!    cut is maintained incrementally (batch edge deltas plus the
+//!    refiner's exact gain), so outside escalations a batch costs the
+//!    frontier work plus `O(V)` tallies — never a full edge-set pass.
+//! 3. **Escalate when degraded** — when the maintained cut exceeds
+//!    `escalate_ratio ×` the epoch's baseline cut
+//!    ([`DynamicSession::baseline_cut`]), the session runs its full
+//!    partitioner (typically the multilevel V-cycle from PR 2) from
+//!    scratch, keeps the better of the two partitions, starts a new
+//!    *epoch*, and re-anchors the baseline at the survivor's cut.
+//!
+//! Every step is deterministic: replaying the same trace through the
+//! same configuration yields a bit-identical partition, regardless of
+//! thread count (asserted in `tests/stream_contract.rs`).
+
+use crate::error::GaError;
+use crate::incremental::{extend_partition_balanced, greedy_neighbor_assign};
+use gapart_graph::dynamic::{apply_batch, Mutation};
+use gapart_graph::partition::cut_size;
+use gapart_graph::refine::{refine_kway_local, RefineOptions, RefineStats};
+use gapart_graph::{CsrGraph, GraphError, Partition, Partitioner, PartitionerError};
+
+/// Errors surfaced by a [`DynamicSession`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DynamicError {
+    /// A mutation batch was structurally invalid for the current graph.
+    Graph(GraphError),
+    /// Seeding the new nodes failed (partition/graph mismatch).
+    Seed(GaError),
+    /// The full repartitioner failed during an escalation.
+    Escalation(PartitionerError),
+}
+
+impl std::fmt::Display for DynamicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DynamicError::Graph(e) => write!(f, "bad mutation batch: {e}"),
+            DynamicError::Seed(e) => write!(f, "seeding failed: {e}"),
+            DynamicError::Escalation(e) => write!(f, "full repartition failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DynamicError {}
+
+impl From<GraphError> for DynamicError {
+    fn from(e: GraphError) -> Self {
+        DynamicError::Graph(e)
+    }
+}
+
+/// Knobs of a [`DynamicSession`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicConfig {
+    /// Number of parts to maintain.
+    pub num_parts: u32,
+    /// Seed for every stochastic step (balanced seeding, escalations).
+    /// Batch `i` derives its sub-seed from `seed` and `i`, so a replay
+    /// is a pure function of `(graph, trace, config)`.
+    pub seed: u64,
+    /// Options for the localized refinement pass.
+    pub refine: RefineOptions,
+    /// BFS halo around the dirty nodes that the localized refinement may
+    /// move (hops; 2 by default). Larger values trade batch latency for
+    /// cut quality.
+    pub frontier_hops: usize,
+    /// Escalate to a full repartition when the maintained cut exceeds
+    /// this multiple of the epoch's baseline cut
+    /// ([`DynamicSession::baseline_cut`]; 1.5 by default).
+    /// `f64::INFINITY` disables escalation entirely.
+    pub escalate_ratio: f64,
+    /// λ of the composite cost used to choose between the two seeding
+    /// policies (1.0, the paper's setting).
+    pub lambda: f64,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        DynamicConfig {
+            num_parts: 2,
+            seed: 0x5354_5245, // "STRE"
+            refine: RefineOptions::default(),
+            frontier_hops: 2,
+            escalate_ratio: 1.5,
+            lambda: 1.0,
+        }
+    }
+}
+
+impl DynamicConfig {
+    /// Default configuration for `num_parts` parts.
+    pub fn new(num_parts: u32) -> Self {
+        DynamicConfig {
+            num_parts,
+            ..DynamicConfig::default()
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the escalation threshold.
+    pub fn with_escalate_ratio(mut self, ratio: f64) -> Self {
+        self.escalate_ratio = ratio;
+        self
+    }
+
+    /// Sets the refinement frontier size in BFS hops.
+    pub fn with_frontier_hops(mut self, hops: usize) -> Self {
+        self.frontier_hops = hops;
+        self
+    }
+}
+
+/// How a batch was absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchAction {
+    /// Seed + localized refinement only.
+    Incremental,
+    /// The degradation threshold tripped: a full repartition ran and a
+    /// new epoch began.
+    FullRepartition,
+}
+
+/// Per-batch history record. The `epoch` column makes escalations
+/// visible: it increments exactly when `action` is
+/// [`BatchAction::FullRepartition`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRecord {
+    /// 0-based batch index in the stream.
+    pub batch: usize,
+    /// Epoch after this batch (number of full solves so far).
+    pub epoch: usize,
+    /// Mutations in the batch.
+    pub mutations: usize,
+    /// Nodes the batch added.
+    pub new_nodes: usize,
+    /// Size of the localized-refinement frontier.
+    pub frontier: usize,
+    /// Cut right after seeding, before any refinement.
+    pub cut_seeded: u64,
+    /// Cut after the batch was fully absorbed.
+    pub cut_after: u64,
+    /// What the localized refinement did.
+    pub refine: RefineStats,
+    /// Incremental or escalated.
+    pub action: BatchAction,
+}
+
+/// A live dynamic-repartitioning session: current graph + partition,
+/// a full repartitioner for escalations, and the per-batch history.
+///
+/// See the [module docs](self) for the per-batch pipeline.
+pub struct DynamicSession {
+    graph: CsrGraph,
+    partition: Partition,
+    full: Box<dyn Partitioner>,
+    config: DynamicConfig,
+    /// Cut the current epoch started from: the result of the last full
+    /// solve, or of the incremental partition when it beat that solve
+    /// at the escalation. Escalation triggers relative to this.
+    baseline_cut: u64,
+    /// Maintained incrementally (edge deltas + refinement gain); always
+    /// equal to `cut_size(&graph, &partition)`.
+    current_cut: u64,
+    epoch: usize,
+    batches: usize,
+    history: Vec<BatchRecord>,
+}
+
+impl std::fmt::Debug for DynamicSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynamicSession")
+            .field("nodes", &self.graph.num_nodes())
+            .field("parts", &self.config.num_parts)
+            .field("full", &self.full.name())
+            .field("epoch", &self.epoch)
+            .field("batches", &self.batches)
+            .finish()
+    }
+}
+
+impl DynamicSession {
+    /// Opens a session by running `full` once on `graph` — epoch 0's
+    /// baseline solve.
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::Escalation`] if the initial full solve fails.
+    pub fn new(
+        graph: CsrGraph,
+        full: Box<dyn Partitioner>,
+        config: DynamicConfig,
+    ) -> Result<Self, DynamicError> {
+        let report = full
+            .partition(&graph, config.num_parts, config.seed)
+            .map_err(DynamicError::Escalation)?;
+        let cut = report.metrics.total_cut;
+        Ok(DynamicSession {
+            graph,
+            partition: report.partition,
+            full,
+            config,
+            baseline_cut: cut,
+            current_cut: cut,
+            epoch: 1,
+            batches: 0,
+            history: Vec::new(),
+        })
+    }
+
+    /// Opens a session around an existing partition (e.g. one loaded
+    /// from disk), using its cut as the escalation baseline.
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::Seed`] if `partition` does not cover `graph` or
+    /// disagrees with the configured part count.
+    pub fn with_partition(
+        graph: CsrGraph,
+        partition: Partition,
+        full: Box<dyn Partitioner>,
+        config: DynamicConfig,
+    ) -> Result<Self, DynamicError> {
+        if partition.num_nodes() != graph.num_nodes() || partition.num_parts() != config.num_parts {
+            return Err(DynamicError::Seed(GaError::BadSeed {
+                message: format!(
+                    "partition covers {} nodes / {} parts, session wants {} / {}",
+                    partition.num_nodes(),
+                    partition.num_parts(),
+                    graph.num_nodes(),
+                    config.num_parts
+                ),
+            }));
+        }
+        let cut = cut_size(&graph, &partition);
+        Ok(DynamicSession {
+            graph,
+            partition,
+            full,
+            config,
+            baseline_cut: cut,
+            current_cut: cut,
+            // No full solve has run: the supplied partition is the
+            // epoch-0 baseline.
+            epoch: 0,
+            batches: 0,
+            history: Vec::new(),
+        })
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// The maintained partition.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &DynamicConfig {
+        &self.config
+    }
+
+    /// Per-batch records, oldest first.
+    pub fn history(&self) -> &[BatchRecord] {
+        &self.history
+    }
+
+    /// Number of full solves so far: the initial solve when the session
+    /// was opened with [`DynamicSession::new`] (a
+    /// [`DynamicSession::with_partition`] session starts at 0) plus one
+    /// per escalation.
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// The cut the current epoch started from — what escalation
+    /// triggers relative to. After a [`DynamicSession::new`] open or an
+    /// escalation where the fresh solve won, this is that full solve's
+    /// cut; when the incremental partition beat the fresh solve at an
+    /// escalation, it is the (better) incremental cut instead.
+    pub fn baseline_cut(&self) -> u64 {
+        self.baseline_cut
+    }
+
+    /// Current cut of the maintained partition (tracked incrementally;
+    /// `O(1)`).
+    pub fn current_cut(&self) -> u64 {
+        debug_assert_eq!(self.current_cut, cut_size(&self.graph, &self.partition));
+        self.current_cut
+    }
+
+    /// Deterministic per-batch sub-seed.
+    fn batch_seed(&self) -> u64 {
+        self.config
+            .seed
+            .wrapping_add((self.batches as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Applies one mutation batch; returns the record it appended.
+    ///
+    /// # Errors
+    ///
+    /// See [`DynamicError`]; on error the session is unchanged.
+    pub fn apply_batch(&mut self, batch: &[Mutation]) -> Result<&BatchRecord, DynamicError> {
+        let (graph, dirty) = apply_batch(&self.graph, batch)?;
+        let seed = self.batch_seed();
+        let n_old = self.partition.num_nodes();
+        let new_nodes = graph.num_nodes() - n_old;
+        let n_parts = self.config.num_parts as usize;
+
+        // Cut delta contributed by the batch's edges under a given
+        // labelling: every `AddEdge` op adds its weight to the (possibly
+        // pre-existing) edge, so it raises the cut by exactly that
+        // weight when its endpoints sit in different parts. This keeps
+        // the cut maintained in O(|batch|) instead of re-walking the
+        // whole edge set.
+        let added_cut = |p: &Partition| -> u64 {
+            batch
+                .iter()
+                .map(|m| match *m {
+                    Mutation::AddEdge { u, v, weight } if p.part(u) != p.part(v) => weight as u64,
+                    _ => 0,
+                })
+                .sum()
+        };
+
+        // 1. Seed: both of the paper's policies, best composite cost
+        //    wins. Both candidates agree on the old-node prefix, so the
+        //    comparison needs only a load tally plus the batch's edge
+        //    delta — no full-graph metrics pass.
+        let (mut partition, cut_seeded) = if new_nodes > 0 {
+            let balanced = extend_partition_balanced(&graph, &self.partition, seed)
+                .map_err(DynamicError::Seed)?;
+            let majority =
+                greedy_neighbor_assign(&graph, &self.partition).map_err(DynamicError::Seed)?;
+            let mut base_loads = vec![0u64; n_parts];
+            for v in 0..n_old as u32 {
+                base_loads[self.partition.part(v) as usize] += graph.node_weight(v) as u64;
+            }
+            let avg = graph.total_node_weight() as f64 / n_parts as f64;
+            // The paper's composite cost Σ I(q) + λ Σ C(q), with
+            // Σ C(q) = 2 × total cut (each cut edge charges both parts).
+            let score = |p: &Partition| -> (f64, u64) {
+                let mut loads = base_loads.clone();
+                for v in n_old as u32..graph.num_nodes() as u32 {
+                    loads[p.part(v) as usize] += graph.node_weight(v) as u64;
+                }
+                let imbalance: f64 = loads
+                    .iter()
+                    .map(|&l| {
+                        let d = l as f64 - avg;
+                        d * d
+                    })
+                    .sum();
+                let cut = self.current_cut + added_cut(p);
+                (imbalance + self.config.lambda * (2 * cut) as f64, cut)
+            };
+            let (cost_b, cut_b) = score(&balanced);
+            let (cost_m, cut_m) = score(&majority);
+            if cost_m < cost_b {
+                (majority, cut_m)
+            } else {
+                (balanced, cut_b)
+            }
+        } else {
+            let cut = self.current_cut + added_cut(&self.partition);
+            (self.partition.clone(), cut)
+        };
+        debug_assert_eq!(cut_seeded, cut_size(&graph, &partition));
+
+        // 2. Localized refinement on the dirty frontier. The refiner's
+        //    reported gain is the exact cut delta (unit-tested), so the
+        //    cut stays maintained without an edge-set pass.
+        let frontier = dirty.frontier(&graph, self.config.frontier_hops);
+        let refine = refine_kway_local(&graph, &mut partition, &self.config.refine, &frontier);
+        let mut cut_after = cut_seeded - refine.gain;
+        debug_assert_eq!(cut_after, cut_size(&graph, &partition));
+
+        // 3. Escalate when quality degraded past the threshold.
+        let degraded = cut_after as f64 > self.config.escalate_ratio * self.baseline_cut as f64;
+        let action = if degraded {
+            let report = self
+                .full
+                .partition(&graph, self.config.num_parts, seed)
+                .map_err(DynamicError::Escalation)?;
+            // Keep whichever side of the escalation is actually better:
+            // a small-budget full solve can lose to a well-maintained
+            // incremental partition, and regressing the cut would make
+            // escalation worse than useless. Either way the survivor's
+            // cut becomes the new epoch baseline.
+            if report.metrics.total_cut < cut_after {
+                partition = report.partition;
+                cut_after = report.metrics.total_cut;
+            }
+            self.baseline_cut = cut_after;
+            self.epoch += 1;
+            BatchAction::FullRepartition
+        } else {
+            BatchAction::Incremental
+        };
+
+        self.graph = graph;
+        self.partition = partition;
+        self.current_cut = cut_after;
+        self.history.push(BatchRecord {
+            batch: self.batches,
+            epoch: self.epoch,
+            mutations: batch.len(),
+            new_nodes,
+            frontier: frontier.len(),
+            cut_seeded,
+            cut_after,
+            refine,
+            action,
+        });
+        self.batches += 1;
+        Ok(self.history.last().expect("just pushed"))
+    }
+
+    /// Replays a whole trace, stopping at the first error.
+    ///
+    /// # Errors
+    ///
+    /// The first [`DynamicError`] any batch raises; batches before it
+    /// are applied.
+    pub fn replay(&mut self, batches: &[Vec<Mutation>]) -> Result<(), DynamicError> {
+        for batch in batches {
+            self.apply_batch(batch)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::GaConfig;
+    use crate::partitioner_impl::GaPartitioner;
+    use gapart_graph::dynamic::scenario::{generate, Scenario, TraceSpec};
+    use gapart_graph::dynamic::MutationLog;
+    use gapart_graph::generators::jittered_mesh;
+    use gapart_graph::multilevel::MultilevelPartitioner;
+
+    /// Small-budget multilevel GA, the intended escalation partitioner.
+    fn mlga() -> Box<dyn Partitioner> {
+        Box::new(MultilevelPartitioner::new(
+            "mlga",
+            Box::new(GaPartitioner::new(GaConfig::coarse_defaults(4))),
+        ))
+    }
+
+    fn session(n: usize, parts: u32) -> DynamicSession {
+        DynamicSession::new(
+            jittered_mesh(n, 11),
+            mlga(),
+            DynamicConfig::new(parts).with_seed(5),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn opens_with_a_full_solve() {
+        let s = session(150, 4);
+        assert_eq!(s.epoch(), 1);
+        assert_eq!(s.partition().num_nodes(), 150);
+        assert_eq!(s.baseline_cut(), s.current_cut());
+        assert!(s.history().is_empty());
+    }
+
+    #[test]
+    fn incremental_batch_keeps_all_invariants() {
+        let mut s = session(150, 4);
+        let mut log = MutationLog::new(150);
+        let a = log.add_node(1, Some(gapart_graph::Point2::new(0.5, 0.5)));
+        log.add_edge(a, 10, 1);
+        log.add_edge(a, 20, 1);
+        let rec = s.apply_batch(log.ops()).unwrap().clone();
+        assert_eq!(rec.action, BatchAction::Incremental);
+        assert_eq!(rec.new_nodes, 1);
+        assert_eq!(s.partition().num_nodes(), 151);
+        assert!(s.partition().labels().iter().all(|&l| l < 4));
+        // Refinement never worsens the seeded cut.
+        assert!(rec.cut_after <= rec.cut_seeded);
+        // No part was drained empty.
+        assert!(s.partition().part_sizes().iter().all(|&z| z > 0));
+    }
+
+    #[test]
+    fn replays_a_generated_trace_end_to_end() {
+        let mut s = session(200, 4);
+        let trace = generate(
+            s.graph(),
+            Scenario::RandomChurn,
+            &TraceSpec {
+                batches: 6,
+                ops_per_batch: 12,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        s.replay(&trace).unwrap();
+        assert_eq!(s.history().len(), 6);
+        assert_eq!(s.partition().num_nodes(), s.graph().num_nodes());
+        s.graph().validate().unwrap();
+    }
+
+    #[test]
+    fn escalation_trips_on_degradation_and_starts_an_epoch() {
+        // Forcing the threshold to 0 makes any positive cut "degraded",
+        // so every batch must escalate.
+        let g = jittered_mesh(150, 11);
+        let mut s = DynamicSession::new(
+            g,
+            mlga(),
+            DynamicConfig::new(4).with_seed(5).with_escalate_ratio(0.0),
+        )
+        .unwrap();
+        let trace = generate(
+            s.graph(),
+            Scenario::MeshGrowth,
+            &TraceSpec {
+                batches: 3,
+                ops_per_batch: 10,
+                seed: 8,
+            },
+        )
+        .unwrap();
+        s.replay(&trace).unwrap();
+        assert_eq!(s.epoch(), 4, "every batch should escalate");
+        assert!(s
+            .history()
+            .iter()
+            .all(|r| r.action == BatchAction::FullRepartition));
+
+        // And an infinite threshold never escalates.
+        let g = jittered_mesh(150, 11);
+        let mut s = DynamicSession::new(
+            g,
+            mlga(),
+            DynamicConfig::new(4)
+                .with_seed(5)
+                .with_escalate_ratio(f64::INFINITY),
+        )
+        .unwrap();
+        s.replay(&trace).unwrap();
+        assert_eq!(s.epoch(), 1);
+    }
+
+    #[test]
+    fn escalation_never_regresses_the_cut() {
+        let g = jittered_mesh(180, 4);
+        let mut s = DynamicSession::new(
+            g,
+            mlga(),
+            DynamicConfig::new(4).with_seed(9).with_escalate_ratio(0.0),
+        )
+        .unwrap();
+        let trace = generate(
+            s.graph(),
+            Scenario::RandomChurn,
+            &TraceSpec {
+                batches: 4,
+                ops_per_batch: 8,
+                seed: 2,
+            },
+        )
+        .unwrap();
+        for batch in &trace {
+            let incremental_cut = {
+                // What the cut would be without escalation is not directly
+                // observable; instead assert the recorded escalated cut is
+                // never worse than the recorded seeded+refined cut.
+                let rec = s.apply_batch(batch).unwrap();
+                (rec.cut_after, rec.cut_seeded)
+            };
+            assert!(incremental_cut.0 <= incremental_cut.1);
+        }
+    }
+
+    #[test]
+    fn hotspot_drift_changes_loads_without_structure() {
+        let mut s = session(160, 4);
+        let trace = generate(
+            s.graph(),
+            Scenario::HotspotDrift,
+            &TraceSpec {
+                batches: 5,
+                ops_per_batch: 15,
+                seed: 6,
+            },
+        )
+        .unwrap();
+        let nodes_before = s.graph().num_nodes();
+        s.replay(&trace).unwrap();
+        assert_eq!(s.graph().num_nodes(), nodes_before);
+        assert!(s.history().iter().all(|r| r.new_nodes == 0));
+    }
+
+    #[test]
+    fn bad_batches_leave_the_session_unchanged() {
+        let mut s = session(100, 4);
+        let before_nodes = s.graph().num_nodes();
+        let before_partition = s.partition().clone();
+        let bad = vec![Mutation::AddEdge {
+            u: 0,
+            v: 9999,
+            weight: 1,
+        }];
+        assert!(matches!(
+            s.apply_batch(&bad).unwrap_err(),
+            DynamicError::Graph(GraphError::NodeOutOfRange { .. })
+        ));
+        assert_eq!(s.graph().num_nodes(), before_nodes);
+        assert_eq!(s.partition(), &before_partition);
+        assert!(s.history().is_empty());
+    }
+
+    #[test]
+    fn with_partition_validates_and_uses_the_given_baseline() {
+        let g = jittered_mesh(80, 3);
+        let p = Partition::round_robin(80, 4);
+        let baseline = cut_size(&g, &p);
+        let s = DynamicSession::with_partition(g, p, mlga(), DynamicConfig::new(4)).unwrap();
+        assert_eq!(s.baseline_cut(), baseline);
+        assert_eq!(s.epoch(), 0, "no full solve has run yet");
+
+        let g = jittered_mesh(80, 3);
+        let wrong = Partition::round_robin(80, 8);
+        assert!(matches!(
+            DynamicSession::with_partition(g, wrong, mlga(), DynamicConfig::new(4)).unwrap_err(),
+            DynamicError::Seed(_)
+        ));
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let trace = generate(
+            &jittered_mesh(150, 11),
+            Scenario::RandomChurn,
+            &TraceSpec {
+                batches: 5,
+                ops_per_batch: 10,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        let run = || {
+            let mut s = session(150, 4);
+            s.replay(&trace).unwrap();
+            (s.partition().clone(), s.history().to_vec(), s.epoch())
+        };
+        assert_eq!(run(), run());
+    }
+}

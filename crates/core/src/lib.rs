@@ -19,6 +19,9 @@
 //!   individuals, executed on real threads in deterministic lockstep.
 //! * [`incremental`] — incremental repartitioning (§3.5, §4.2) plus the
 //!   greedy neighbour-majority baseline the conclusion mentions.
+//! * [`dynamic`] — the streaming generalization: a [`DynamicSession`]
+//!   maintains a partition across mutation batches with localized
+//!   refinement and threshold-triggered full repartitions.
 //! * [`topology`] — the DPGA communication topologies.
 //! * [`history`] — per-generation convergence records (the paper's
 //!   figures average these over 5 runs).
@@ -28,6 +31,7 @@
 
 pub mod chromosome;
 pub mod dpga;
+pub mod dynamic;
 pub mod engine;
 pub mod error;
 pub mod fitness;
@@ -41,6 +45,7 @@ pub mod selection;
 pub mod topology;
 
 pub use dpga::{DpgaConfig, DpgaEngine, DpgaResult, MigrationPolicy};
+pub use dynamic::{BatchAction, BatchRecord, DynamicConfig, DynamicError, DynamicSession};
 pub use engine::{GaConfig, GaEngine, GaResult, HillClimbMode};
 pub use error::GaError;
 pub use fitness::{FitnessEvaluator, FitnessKind};

@@ -210,4 +210,62 @@ proptest! {
             prop_assert!(pair == (a[i as usize], b[i as usize]) || pair == (b[i as usize], a[i as usize]));
         }
     }
+
+    /// §3.5 balanced extension: starting from a greedily balanced old
+    /// partition, every part's load stays within one maximum node weight
+    /// of the ideal average, and the old-node prefix is never relabelled.
+    #[test]
+    fn balanced_extension_stays_within_one_max_weight_of_ideal(
+        weights in proptest::collection::vec(1u32..9, 8..120),
+        parts in 2u32..7,
+        split_frac in 0.1f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        use gapart_core::incremental::extend_partition_balanced;
+        use gapart_graph::{GraphBuilder, Partition};
+
+        let n = weights.len();
+        let n_old = ((n as f64 * split_frac) as usize).clamp(1, n);
+        // Structure is irrelevant to the balance property; a path keeps
+        // the builder happy for any n.
+        let mut b = GraphBuilder::with_nodes(n);
+        for v in 1..n as u32 {
+            b.push_edge(v - 1, v, 1);
+        }
+        let graph = b.node_weights(weights.clone()).build().unwrap();
+
+        // Old partition: the same greedy lightest-part rule, so its own
+        // spread is already ≤ one max node weight (the precondition §3.5
+        // maintains batch over batch).
+        let mut loads = vec![0u64; parts as usize];
+        let mut old_labels = Vec::with_capacity(n_old);
+        for &w in weights.iter().take(n_old) {
+            let p = (0..parts as usize).min_by_key(|&q| loads[q]).unwrap();
+            old_labels.push(p as u32);
+            loads[p] += w as u64;
+        }
+        let old = Partition::new(old_labels, parts).unwrap();
+
+        let ext = extend_partition_balanced(&graph, &old, seed).unwrap();
+
+        // Prefix preserved.
+        for v in 0..n_old as u32 {
+            prop_assert_eq!(ext.part(v), old.part(v), "old node {} relabelled", v);
+        }
+        // Every part within one max node weight of the ideal average.
+        let wmax = *weights.iter().max().unwrap() as f64;
+        let total: u64 = weights.iter().map(|&w| w as u64).sum();
+        let avg = total as f64 / parts as f64;
+        let mut final_loads = vec![0u64; parts as usize];
+        for v in 0..n as u32 {
+            final_loads[ext.part(v) as usize] += graph.node_weight(v) as u64;
+        }
+        for (q, &load) in final_loads.iter().enumerate() {
+            prop_assert!(
+                (load as f64 - avg).abs() <= wmax + 1e-9,
+                "part {} load {} vs ideal {} (wmax {})",
+                q, load, avg, wmax
+            );
+        }
+    }
 }

@@ -1,0 +1,191 @@
+//! Line-oriented text format for mutation traces.
+//!
+//! A trace is a sequence of batches; each batch is a run of mutation
+//! lines terminated by a `commit` line (a trailing unterminated run forms
+//! the final batch). Blank lines and `#` comments are ignored.
+//!
+//! ```text
+//! # grow two nodes, rewire, drift one weight
+//! node 1 0.31 0.70
+//! node 2
+//! edge 12 240 1
+//! weight 7 3
+//! commit
+//! ```
+//!
+//! * `node <weight> [<x> <y>]` — [`Mutation::AddNode`]; coordinates are
+//!   required when the target graph carries them.
+//! * `edge <u> <v> <weight>` — [`Mutation::AddEdge`].
+//! * `weight <node> <weight>` — [`Mutation::SetNodeWeight`].
+//! * `commit` — ends the current batch.
+//!
+//! The format round-trips: [`parse_trace`] ∘ [`trace_to_text`] is the
+//! identity on any trace without empty batches.
+
+use super::Mutation;
+use crate::error::GraphError;
+use crate::geometry::Point2;
+use std::fmt::Write as _;
+
+fn parse_num<T: std::str::FromStr>(tok: &str, line: usize, what: &str) -> Result<T, GraphError> {
+    tok.parse().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("bad {what} '{tok}'"),
+    })
+}
+
+/// Parses a mutation trace from its text form.
+///
+/// # Errors
+///
+/// [`GraphError::Parse`] with the 1-based line number on any malformed
+/// line. Structural validity (node ids in range, nonzero weights) is
+/// checked later, by [`super::apply_batch`].
+pub fn parse_trace(text: &str) -> Result<Vec<Vec<Mutation>>, GraphError> {
+    let mut batches: Vec<Vec<Mutation>> = Vec::new();
+    let mut current: Vec<Mutation> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match (toks[0], toks.len()) {
+            ("commit", 1) => {
+                batches.push(std::mem::take(&mut current));
+            }
+            ("node", 2) => current.push(Mutation::AddNode {
+                weight: parse_num(toks[1], line_no, "node weight")?,
+                pos: None,
+            }),
+            ("node", 4) => current.push(Mutation::AddNode {
+                weight: parse_num(toks[1], line_no, "node weight")?,
+                pos: Some(Point2::new(
+                    parse_num(toks[2], line_no, "x coordinate")?,
+                    parse_num(toks[3], line_no, "y coordinate")?,
+                )),
+            }),
+            ("edge", 4) => current.push(Mutation::AddEdge {
+                u: parse_num(toks[1], line_no, "node id")?,
+                v: parse_num(toks[2], line_no, "node id")?,
+                weight: parse_num(toks[3], line_no, "edge weight")?,
+            }),
+            ("weight", 3) => current.push(Mutation::SetNodeWeight {
+                node: parse_num(toks[1], line_no, "node id")?,
+                weight: parse_num(toks[2], line_no, "node weight")?,
+            }),
+            (op, n) => {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    message: format!("unknown or malformed op '{op}' with {} operand(s)", n - 1),
+                })
+            }
+        }
+    }
+    if !current.is_empty() {
+        batches.push(current);
+    }
+    Ok(batches)
+}
+
+/// Renders a trace to its text form (see the [module docs](self)).
+pub fn trace_to_text(batches: &[Vec<Mutation>]) -> String {
+    let mut out = String::new();
+    for batch in batches {
+        for m in batch {
+            match m {
+                Mutation::AddNode { weight, pos: None } => {
+                    let _ = writeln!(out, "node {weight}");
+                }
+                Mutation::AddNode {
+                    weight,
+                    pos: Some(p),
+                } => {
+                    let _ = writeln!(out, "node {weight} {} {}", p.x, p.y);
+                }
+                Mutation::AddEdge { u, v, weight } => {
+                    let _ = writeln!(out, "edge {u} {v} {weight}");
+                }
+                Mutation::SetNodeWeight { node, weight } => {
+                    let _ = writeln!(out, "weight {node} {weight}");
+                }
+            }
+        }
+        out.push_str("commit\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_doc_example() {
+        let text = "# comment\nnode 1 0.31 0.70\nnode 2\nedge 12 240 1\nweight 7 3\ncommit\n";
+        let batches = parse_trace(text).unwrap();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].len(), 4);
+        assert_eq!(
+            batches[0][0],
+            Mutation::AddNode {
+                weight: 1,
+                pos: Some(Point2::new(0.31, 0.70))
+            }
+        );
+        assert_eq!(
+            batches[0][3],
+            Mutation::SetNodeWeight { node: 7, weight: 3 }
+        );
+    }
+
+    #[test]
+    fn trailing_run_without_commit_is_a_batch() {
+        let batches = parse_trace("edge 0 1 1\ncommit\nweight 2 4\n").unwrap();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(
+            batches[1],
+            vec![Mutation::SetNodeWeight { node: 2, weight: 4 }]
+        );
+    }
+
+    #[test]
+    fn empty_commit_makes_an_empty_batch() {
+        let batches = parse_trace("commit\ncommit\n").unwrap();
+        assert_eq!(batches, vec![Vec::new(), Vec::new()]);
+    }
+
+    #[test]
+    fn round_trips() {
+        let batches = vec![
+            vec![
+                Mutation::AddNode {
+                    weight: 3,
+                    pos: Some(Point2::new(0.5, -1.25)),
+                },
+                Mutation::AddNode {
+                    weight: 1,
+                    pos: None,
+                },
+                Mutation::AddEdge {
+                    u: 4,
+                    v: 9,
+                    weight: 2,
+                },
+            ],
+            vec![Mutation::SetNodeWeight { node: 0, weight: 7 }],
+        ];
+        assert_eq!(parse_trace(&trace_to_text(&batches)).unwrap(), batches);
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let err = parse_trace("edge 0 1 1\nfrob 1 2\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }), "{err}");
+        let err = parse_trace("node x\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        let err = parse_trace("edge 0 1\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }), "{err}");
+    }
+}

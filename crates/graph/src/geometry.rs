@@ -95,6 +95,149 @@ pub fn quantize(points: &[Point2], resolution: u32) -> Vec<(u32, u32)> {
         .collect()
 }
 
+/// A [`NearestGrid`] cell size matched to the density of `points`: the
+/// edge length of a square holding one point on average over the
+/// bounding box — approximately the typical nearest-neighbour spacing,
+/// which is the sweet spot for ring-search queries. Unlike a fixed
+/// `1/√n`, this stays correct for coordinates on any scale (user-supplied
+/// `.xy` files are not confined to the unit square).
+///
+/// Degenerate sets fall back sanely: collinear points use their span
+/// divided by the count; empty or single-point sets return 1.0.
+pub fn density_cell(points: &[Point2]) -> f64 {
+    let Some((lo, hi)) = bounding_box(points) else {
+        return 1.0;
+    };
+    let (w, h) = (hi.x - lo.x, hi.y - lo.y);
+    let area = w * h;
+    if area > 0.0 {
+        (area / points.len() as f64).sqrt()
+    } else if w.max(h) > 0.0 {
+        w.max(h) / points.len() as f64
+    } else {
+        1.0
+    }
+}
+
+/// Exact k-nearest-neighbour index over a growing 2-D point set, backed
+/// by a uniform bucket grid.
+///
+/// Queries expand square rings of cells outward from the query's cell and
+/// stop once the k-th best squared distance is provably closer than any
+/// unvisited cell, so results are *exact*, not approximate. Ties in
+/// distance break toward the lower point id, making every query a pure
+/// function of the inserted point sequence — the determinism contract the
+/// incremental-growth model relies on.
+///
+/// For points spread over a bounded domain with cell size on the order of
+/// the typical point spacing, a query inspects `O(k)` cells, replacing
+/// the `O(n log n)` full sort of a brute-force scan.
+#[derive(Debug, Clone)]
+pub struct NearestGrid {
+    cell: f64,
+    buckets: std::collections::HashMap<(i64, i64), Vec<u32>>,
+    points: Vec<Point2>,
+}
+
+impl NearestGrid {
+    /// Creates an index with the given `cell` edge length and inserts
+    /// `points` in order (point ids are their positions in the slice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not strictly positive and finite.
+    pub fn new(points: &[Point2], cell: f64) -> Self {
+        assert!(cell > 0.0 && cell.is_finite(), "bad cell size {cell}");
+        let mut grid = NearestGrid {
+            cell,
+            buckets: std::collections::HashMap::new(),
+            points: Vec::with_capacity(points.len()),
+        };
+        for &p in points {
+            grid.insert(p);
+        }
+        grid
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Inserts a point, returning its id (insertion order).
+    pub fn insert(&mut self, p: Point2) -> u32 {
+        let id = self.points.len() as u32;
+        self.points.push(p);
+        self.buckets.entry(self.cell_of(&p)).or_default().push(id);
+        id
+    }
+
+    fn cell_of(&self, p: &Point2) -> (i64, i64) {
+        (
+            (p.x / self.cell).floor() as i64,
+            (p.y / self.cell).floor() as i64,
+        )
+    }
+
+    /// The `k` nearest indexed points to `query`, ordered by
+    /// `(squared distance, id)` ascending. Returns fewer than `k` ids only
+    /// when the index holds fewer than `k` points.
+    pub fn nearest(&self, query: &Point2, k: usize) -> Vec<u32> {
+        let k = k.min(self.points.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        let (cx, cy) = self.cell_of(query);
+        let mut found: Vec<(f64, u32)> = Vec::with_capacity(k * 4);
+        let mut ring: i64 = 0;
+        loop {
+            // Visit the cells whose Chebyshev index distance is exactly
+            // `ring`, in a deterministic row-major order over the ring's
+            // perimeter only (O(ring) cells, not O(ring²)).
+            let visit = |dx: i64, dy: i64, found: &mut Vec<(f64, u32)>| {
+                if let Some(ids) = self.buckets.get(&(cx + dx, cy + dy)) {
+                    for &id in ids {
+                        found.push((self.points[id as usize].dist2(query), id));
+                    }
+                }
+            };
+            for dy in -ring..=ring {
+                if dy.abs() == ring {
+                    for dx in -ring..=ring {
+                        visit(dx, dy, &mut found);
+                    }
+                } else {
+                    // |dy| < ring implies ring > 0, so the two columns
+                    // are distinct cells.
+                    visit(-ring, dy, &mut found);
+                    visit(ring, dy, &mut found);
+                }
+            }
+            if found.len() >= k {
+                // Any point in an unvisited cell (index distance > ring)
+                // is at least `ring × cell` away from anywhere in the
+                // query's cell, hence from the query itself.
+                let bound = ring as f64 * self.cell;
+                found.sort_unstable_by(|a, b| {
+                    a.0.partial_cmp(&b.0)
+                        .expect("finite distances")
+                        .then(a.1.cmp(&b.1))
+                });
+                if found[k - 1].0 <= bound * bound {
+                    found.truncate(k);
+                    return found.into_iter().map(|(_, id)| id).collect();
+                }
+            }
+            ring += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +315,91 @@ mod tests {
     fn quantize_resolution_one_maps_everything_to_origin_cell() {
         let pts = [Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)];
         assert_eq!(quantize(&pts, 1), vec![(0, 0), (0, 0)]);
+    }
+
+    /// Brute-force reference: ids ordered by `(dist2, id)`.
+    fn brute_nearest(points: &[Point2], query: &Point2, k: usize) -> Vec<u32> {
+        let mut all: Vec<(f64, u32)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.dist2(query), i as u32))
+            .collect();
+        all.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        all.truncate(k);
+        all.into_iter().map(|(_, id)| id).collect()
+    }
+
+    #[test]
+    fn nearest_grid_matches_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let points: Vec<Point2> = (0..400)
+            .map(|_| Point2::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+            .collect();
+        let grid = NearestGrid::new(&points, 0.05);
+        assert_eq!(grid.len(), 400);
+        for _ in 0..50 {
+            let q = Point2::new(rng.gen_range(-0.2..1.2), rng.gen_range(-0.2..1.2));
+            for k in [1, 3, 7] {
+                assert_eq!(grid.nearest(&q, k), brute_nearest(&points, &q, k));
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_grid_handles_growth_and_small_sets() {
+        let mut grid = NearestGrid::new(&[], 0.1);
+        assert!(grid.is_empty());
+        assert!(grid.nearest(&Point2::ORIGIN, 3).is_empty());
+        assert_eq!(grid.insert(Point2::new(0.0, 0.0)), 0);
+        assert_eq!(grid.insert(Point2::new(5.0, 5.0)), 1);
+        // More requested than indexed: all points, nearest first.
+        assert_eq!(grid.nearest(&Point2::new(0.1, 0.0), 9), vec![0, 1]);
+        assert_eq!(grid.nearest(&Point2::new(4.9, 5.0), 1), vec![1]);
+    }
+
+    #[test]
+    fn nearest_grid_breaks_exact_ties_by_id() {
+        // Two coincident points: lower id wins.
+        let pts = [Point2::new(1.0, 1.0), Point2::new(1.0, 1.0)];
+        let grid = NearestGrid::new(&pts, 0.5);
+        assert_eq!(grid.nearest(&Point2::new(1.2, 1.0), 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn density_cell_tracks_the_coordinate_scale() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        // 100 points over [0, 1000]²: the density cell must be ~100, not
+        // the unit-square 1/√n = 0.1 (which would make every ring search
+        // probe millions of empty cells).
+        let points: Vec<Point2> = (0..100)
+            .map(|_| Point2::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+            .collect();
+        let cell = density_cell(&points);
+        assert!((50.0..200.0).contains(&cell), "cell {cell}");
+        let grid = NearestGrid::new(&points, cell);
+        let q = Point2::new(500.0, 500.0);
+        assert_eq!(grid.nearest(&q, 5), brute_nearest(&points, &q, 5));
+        // Degenerate sets stay positive and finite.
+        assert_eq!(density_cell(&[]), 1.0);
+        assert_eq!(density_cell(&[Point2::ORIGIN]), 1.0);
+        let line = [Point2::new(0.0, 3.0), Point2::new(8.0, 3.0)];
+        assert_eq!(density_cell(&line), 4.0);
+    }
+
+    #[test]
+    fn nearest_grid_finds_far_points_across_many_rings() {
+        // Tiny cells relative to spread: the query must expand many rings
+        // before finding anything, and must still be exact.
+        let pts = [Point2::new(10.0, 10.0), Point2::new(-10.0, -10.0)];
+        let grid = NearestGrid::new(&pts, 0.01);
+        assert_eq!(grid.nearest(&Point2::new(9.0, 9.0), 1), vec![0]);
+        assert_eq!(
+            grid.nearest(&Point2::ORIGIN, 2),
+            brute_nearest(&pts, &Point2::ORIGIN, 2)
+        );
     }
 }

@@ -12,6 +12,10 @@
 //!   in the paper's Tables 1–6 (78 … 309 nodes).
 //! * [`incremental`] — the paper's incremental-update model: grow the graph
 //!   by adding nodes "in a local area chosen randomly" (§4.2).
+//! * [`dynamic`] — the streaming generalization of that model: mutation
+//!   logs (add-node / add-edge / weight change) with cheap incremental
+//!   CSR rebuild, dirty-region tracking, a text trace format, and
+//!   deterministic stream-scenario generators.
 //! * [`partition`] — the [`partition::Partition`] type plus every metric the
 //!   paper reports: per-part communication cost `C(q)`, total cut
 //!   `Σ C(q)/2`, worst cut `max C(q)`, and load imbalance `I(q)`.
@@ -35,6 +39,7 @@
 pub mod builder;
 pub mod coarsen;
 pub mod csr;
+pub mod dynamic;
 pub mod error;
 pub mod generators;
 pub mod geometry;
@@ -50,6 +55,7 @@ pub mod traversal;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
+pub use dynamic::{DirtyRegion, Mutation, MutationLog};
 pub use error::GraphError;
 pub use geometry::Point2;
 pub use multilevel::{MultilevelConfig, MultilevelPartitioner};

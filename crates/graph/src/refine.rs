@@ -15,9 +15,15 @@
 //! the cut under a hard balance cap). It works for any number of parts:
 //! a vertex may move to whichever adjacent part it is most connected to.
 //!
+//! Two entry points share one sweep core: [`refine_kway`] visits every
+//! vertex, and [`refine_kway_local`] visits only an explicit region —
+//! the dirty frontier of a streaming update (see
+//! [`crate::dynamic`]), where a full sweep would waste `O(V + E)` work
+//! on untouched parts of the graph.
+//!
 //! Determinism: vertices are scanned in id order and ties break toward
 //! the earlier-discovered part, so a refinement run is a pure function of
-//! `(graph, partition, options)`.
+//! `(graph, partition, options)` (plus the region for the local variant).
 
 use crate::csr::CsrGraph;
 use crate::partition::Partition;
@@ -55,7 +61,9 @@ pub struct RefineStats {
 
 /// Refines `partition` in place, greedily and k-way: each sweep visits
 /// every vertex in id order and applies the best strictly-improving,
-/// balance-respecting move to a part the vertex already touches.
+/// balance-respecting move to a part the vertex already touches. A move
+/// is never allowed to drain its source part to zero load, so no part
+/// ever ends a refinement empty.
 ///
 /// Never increases the cut; per-part loads are tracked incrementally so a
 /// sweep costs `O(V + E)` regardless of how many moves it makes.
@@ -67,6 +75,50 @@ pub fn refine_kway(
     graph: &CsrGraph,
     partition: &mut Partition,
     opts: &RefineOptions,
+) -> RefineStats {
+    sweep_region(graph, partition, opts, None)
+}
+
+/// Localized variant of [`refine_kway`]: sweeps only the vertices in
+/// `region` (deduplicated and visited in ascending id order regardless of
+/// the order given). Loads are still tracked globally, so balance and the
+/// never-empty-a-part rule hold for the whole partition — only the set of
+/// candidate moves shrinks.
+///
+/// This is the workhorse of the streaming subsystem: after a mutation
+/// batch, only the dirty frontier needs re-examination, which turns an
+/// `O(V + E)` sweep into `O(|region| + edges(region))` plus one `O(V)`
+/// load tally.
+///
+/// # Panics
+///
+/// Panics if `partition` covers a different number of nodes than `graph`,
+/// or if `region` contains a node id `≥ graph.num_nodes()`.
+pub fn refine_kway_local(
+    graph: &CsrGraph,
+    partition: &mut Partition,
+    opts: &RefineOptions,
+    region: &[u32],
+) -> RefineStats {
+    let mut nodes: Vec<u32> = region.to_vec();
+    nodes.sort_unstable();
+    nodes.dedup();
+    if let Some(&last) = nodes.last() {
+        assert!(
+            (last as usize) < graph.num_nodes(),
+            "region node {last} out of range"
+        );
+    }
+    sweep_region(graph, partition, opts, Some(&nodes))
+}
+
+/// Shared sweep core: `region = None` means every vertex, otherwise a
+/// sorted, duplicate-free candidate list.
+fn sweep_region(
+    graph: &CsrGraph,
+    partition: &mut Partition,
+    opts: &RefineOptions,
+    region: Option<&[u32]>,
 ) -> RefineStats {
     assert_eq!(graph.num_nodes(), partition.num_nodes());
     let n_parts = partition.num_parts() as usize;
@@ -85,7 +137,11 @@ pub fn refine_kway(
     let mut conn: Vec<(u32, u64)> = Vec::with_capacity(8);
     for _ in 0..opts.max_passes {
         let mut moved_this_pass = false;
-        for v in 0..graph.num_nodes() as u32 {
+        let candidates: &mut dyn Iterator<Item = u32> = match region {
+            Some(nodes) => &mut nodes.iter().copied(),
+            None => &mut (0..graph.num_nodes() as u32),
+        };
+        for v in candidates {
             let pv = partition.part(v);
             conn.clear();
             let mut internal = 0u64;
@@ -100,8 +156,15 @@ pub fn refine_kway(
                     }
                 }
             }
-            // Best strictly-improving, balance-respecting move.
+            // Best strictly-improving, balance-respecting move. The
+            // source part must keep a positive load after the move: on
+            // small or coarse graphs an unchecked source can drain to
+            // zero, and an empty part can never be repopulated by
+            // cut-improving moves.
             let wv = graph.node_weight(v) as u64;
+            if loads[pv as usize] <= wv {
+                continue;
+            }
             let mut best: Option<(u32, u64)> = None;
             for &(p, c) in &conn {
                 if c > internal
@@ -200,6 +263,88 @@ mod tests {
         let sb = refine_kway(&g, &mut b, &opts(0.1, 6));
         assert_eq!(a, b);
         assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn never_drains_a_part_to_zero() {
+        // Regression: triangle with node 0 alone in part 0. Moving it to
+        // part 1 improves the cut (2 -> 0) and respects the destination
+        // cap at 100% slack, so the old code emptied part 0.
+        let g = from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let mut p = Partition::new(vec![0, 1, 1], 2).unwrap();
+        let stats = refine_kway(&g, &mut p, &opts(1.0, 4));
+        assert_eq!(stats.moves, 0, "move emptied part 0");
+        assert!(
+            p.part_sizes().iter().all(|&s| s > 0),
+            "{:?}",
+            p.part_sizes()
+        );
+        // The guard is per-part, not global: a two-node part may still
+        // shed one node.
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 2)]).unwrap();
+        let mut p = Partition::new(vec![1, 0, 1, 1], 2).unwrap();
+        refine_kway(&g, &mut p, &opts(1.0, 4));
+        assert!(
+            p.part_sizes().iter().all(|&s| s > 0),
+            "{:?}",
+            p.part_sizes()
+        );
+    }
+
+    #[test]
+    fn local_region_matches_full_sweep_when_region_is_everything() {
+        let g = paper_graph(139);
+        let all: Vec<u32> = (0..139u32).collect();
+        for seed in 0..3u64 {
+            let mut full = random_partition(139, 4, seed);
+            let mut local = full.clone();
+            let sf = refine_kway(&g, &mut full, &opts(0.1, 8));
+            let sl = refine_kway_local(&g, &mut local, &opts(0.1, 8), &all);
+            assert_eq!(full, local);
+            assert_eq!(sf, sl);
+        }
+    }
+
+    #[test]
+    fn local_region_only_moves_region_nodes() {
+        let g = paper_graph(144);
+        let mut p = random_partition(144, 4, 5);
+        let before = p.clone();
+        let region: Vec<u32> = (40..80u32).collect();
+        let stats = refine_kway_local(&g, &mut p, &opts(0.2, 6), &region);
+        for v in 0..144u32 {
+            if !region.contains(&v) {
+                assert_eq!(p.part(v), before.part(v), "non-region node {v} moved");
+            }
+        }
+        // The restricted sweep still finds *some* improving moves on a
+        // random partition, and never increases the cut.
+        assert!(stats.moves > 0);
+        assert!(cut_size(&g, &p) <= cut_size(&g, &before));
+    }
+
+    #[test]
+    fn local_region_is_order_insensitive_and_dedups() {
+        let g = paper_graph(98);
+        let mut a = random_partition(98, 4, 8);
+        let mut b = a.clone();
+        let fwd: Vec<u32> = (10..50u32).collect();
+        let mut rev: Vec<u32> = fwd.iter().rev().copied().collect();
+        rev.extend_from_slice(&fwd); // duplicates too
+        let sa = refine_kway_local(&g, &mut a, &opts(0.2, 6), &fwd);
+        let sb = refine_kway_local(&g, &mut b, &opts(0.2, 6), &rev);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn empty_region_is_a_no_op() {
+        let g = paper_graph(78);
+        let mut p = random_partition(78, 4, 1);
+        let before = p.clone();
+        let stats = refine_kway_local(&g, &mut p, &opts(0.1, 4), &[]);
+        assert_eq!(stats, RefineStats { moves: 0, gain: 0 });
+        assert_eq!(p, before);
     }
 
     fn random_partition(n: usize, parts: u32, seed: u64) -> Partition {

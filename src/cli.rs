@@ -14,9 +14,16 @@
 //!   one part label per line.
 //! * `eval`       — score an existing partition file.
 //! * `grow`       — apply the paper's incremental local growth.
+//! * `trace`      — generate a mutation trace (mesh-growth / churn /
+//!   hotspot scenarios) for `stream`.
+//! * `stream`     — replay a mutation trace through a dynamic
+//!   repartitioning session (localized refinement + escalation).
 
+use crate::core::dynamic::{BatchAction, DynamicConfig, DynamicSession};
 use crate::core::incremental::incremental_ga;
 use crate::core::{CrossoverOp, DpgaConfig, FitnessKind, GaConfig, HillClimbMode};
+use crate::graph::dynamic::scenario::{generate as generate_trace, Scenario, TraceSpec};
+use crate::graph::dynamic::trace::{parse_trace, trace_to_text};
 use crate::graph::generators::{gnp, grid2d, jittered_mesh, random_geometric, GridKind};
 use crate::graph::geometry::Point2;
 use crate::graph::incremental::grow_local;
@@ -128,6 +135,19 @@ USAGE:
   gapart-cli grow GRAPH.metis --coords G.xy --add K [--seed S]
              --out grown.metis [--coords-out grown.xy]
              [--repartition P] [--old-labels labels.part]
+  gapart-cli trace GRAPH.metis --scenario mesh-growth|churn|hotspot
+             --batches B --ops N [--seed S] [--coords G.xy]
+             --out trace.txt
+             (mesh-growth needs --coords; ops is mutations per batch)
+  gapart-cli stream GRAPH.metis --trace trace.txt --parts P
+             [--coords G.xy] [--method mlga|mldpga|mlrsb|...]
+             [--threshold 1.5] [--hops 2] [--seed S]
+             [--labels-out labels.part] [--graph-out final.metis]
+             [--coords-out final.xy]
+             (replays the trace through a dynamic session: new nodes are
+              seeded per §3.5, refinement stays on the dirty frontier,
+              and the cut degrading past --threshold × the epoch's
+              baseline escalates to a full --method repartition)
 ";
 
 /// Executes a parsed command, returning the text to print.
@@ -141,6 +161,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "partition" => cmd_partition(args),
         "eval" => cmd_eval(args),
         "grow" => cmd_grow(args),
+        "trace" => cmd_trace(args),
+        "stream" => cmd_stream(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
     }
@@ -306,9 +328,8 @@ fn cmd_partition(args: &Args) -> Result<String, CliError> {
     // but use the coarse-level sizing — the V-cycle, not --gens/--pop,
     // sets their budget.
     let partitioner: Box<dyn Partitioner> = match method {
-        "rsb" | "ibp" | "mlrsb" | "mlibp" => {
-            crate::partitioners::by_name(method).expect("static names resolve")
-        }
+        "rsb" | "ibp" | "mlrsb" | "mlibp" => crate::partitioners::by_name(method)
+            .ok_or_else(|| CliError::Failed(format!("method {method} is not registered")))?,
         "mlga" => {
             let mut config = GaConfig::coarse_defaults(parts).with_fitness(fitness);
             // Coarse-level sizing is the default, but an explicit budget
@@ -436,10 +457,10 @@ fn cmd_grow(args: &Args) -> Result<String, CliError> {
         result.anchor
     );
     if let Some(co) = args.flag("coords-out") {
-        std::fs::write(
-            co,
-            coords_to_text(result.graph.coords().expect("grown graphs keep coords")),
-        )?;
+        let coords = result.graph.coords().ok_or_else(|| {
+            CliError::Failed("grown graph carries no coordinates; cannot write --coords-out".into())
+        })?;
+        std::fs::write(co, coords_to_text(coords))?;
         let _ = writeln!(report, "coordinates written to {co}");
     }
 
@@ -473,6 +494,146 @@ fn cmd_grow(args: &Args) -> Result<String, CliError> {
         }
     }
     Ok(report)
+}
+
+fn cmd_trace(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or_else(|| CliError::Usage("trace needs a graph file".into()))?;
+    let scenario_name = args.require("scenario")?;
+    let scenario = Scenario::by_name(scenario_name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "--scenario {scenario_name}: expected {}",
+            Scenario::NAMES.join("|")
+        ))
+    })?;
+    let batches: usize = args.flag_parse("batches", 10usize)?;
+    let ops: usize = args.flag_parse("ops", 20usize)?;
+    if batches == 0 || ops == 0 {
+        return Err(CliError::Usage(
+            "--batches and --ops must be positive".into(),
+        ));
+    }
+    let seed: u64 = args.flag_parse("seed", 7u64)?;
+    let graph = load_graph(path, args.flag("coords"))?;
+    let trace = generate_trace(
+        &graph,
+        scenario,
+        &TraceSpec {
+            batches,
+            ops_per_batch: ops,
+            seed,
+        },
+    )
+    .map_err(|e| CliError::Failed(e.to_string()))?;
+    let out = args.require("out")?;
+    std::fs::write(out, trace_to_text(&trace))?;
+    let mutations: usize = trace.iter().map(Vec::len).sum();
+    Ok(format!(
+        "wrote {out}: {} {} batches, {mutations} mutations\n",
+        trace.len(),
+        scenario.name()
+    ))
+}
+
+fn cmd_stream(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or_else(|| CliError::Usage("stream needs a graph file".into()))?;
+    let parts: u32 = args.flag_parse("parts", 0u32)?;
+    if parts == 0 {
+        return Err(CliError::Usage("--parts must be positive".into()));
+    }
+    let trace_path = args.require("trace")?;
+    let method = args.flag("method").unwrap_or("mlga");
+    let threshold: f64 = args.flag_parse("threshold", 1.5f64)?;
+    let hops: usize = args.flag_parse("hops", 2usize)?;
+    let seed: u64 = args.flag_parse("seed", 0x5343_3934u64)?;
+
+    let graph = load_graph(path, args.flag("coords"))?;
+    let trace_text = std::fs::read_to_string(trace_path)?;
+    let trace =
+        parse_trace(&trace_text).map_err(|e| CliError::Failed(format!("{trace_path}: {e}")))?;
+    let full = crate::partitioners::by_name(method).ok_or_else(|| {
+        CliError::Usage(format!(
+            "--method {method}: expected one of {}",
+            crate::partitioners::NAMES.join("|")
+        ))
+    })?;
+
+    let config = DynamicConfig::new(parts)
+        .with_seed(seed)
+        .with_escalate_ratio(threshold)
+        .with_frontier_hops(hops);
+    let mut session =
+        DynamicSession::new(graph, full, config).map_err(|e| CliError::Failed(e.to_string()))?;
+
+    let mut out = format!(
+        "opened session: {} nodes, {parts} parts, method {method}, baseline cut {}\n",
+        session.graph().num_nodes(),
+        session.baseline_cut()
+    );
+    let _ = writeln!(
+        out,
+        "{:>5} {:>6} {:>9} {:>9} {:>8} {:>7} {:>6}  action",
+        "batch", "muts", "frontier", "cut-seed", "cut", "moves", "epoch"
+    );
+    for batch in &trace {
+        let rec = session
+            .apply_batch(batch)
+            .map_err(|e| CliError::Failed(e.to_string()))?;
+        let _ = writeln!(
+            out,
+            "{:>5} {:>6} {:>9} {:>9} {:>8} {:>7} {:>6}  {}",
+            rec.batch,
+            rec.mutations,
+            rec.frontier,
+            rec.cut_seeded,
+            rec.cut_after,
+            rec.refine.moves,
+            rec.epoch,
+            match rec.action {
+                BatchAction::Incremental => "incremental",
+                BatchAction::FullRepartition => "FULL",
+            }
+        );
+    }
+    let escalations = session
+        .history()
+        .iter()
+        .filter(|r| r.action == BatchAction::FullRepartition)
+        .count();
+    let _ = writeln!(
+        out,
+        "replayed {} batches: {escalations} escalation(s), final graph {} nodes",
+        trace.len(),
+        session.graph().num_nodes()
+    );
+    out.push_str(&render_metrics(
+        session.graph(),
+        session.partition(),
+        &format!("stream/{method}"),
+    ));
+    if let Some(lp) = args.flag("labels-out") {
+        save_labels(lp, session.partition())?;
+        let _ = writeln!(out, "labels written to {lp}");
+    }
+    if let Some(gp) = args.flag("graph-out") {
+        std::fs::write(gp, to_metis(session.graph()))?;
+        let _ = writeln!(out, "final graph written to {gp}");
+    }
+    if let Some(cp) = args.flag("coords-out") {
+        let coords = session.graph().coords().ok_or_else(|| {
+            CliError::Failed(
+                "streamed graph carries no coordinates; cannot write --coords-out".into(),
+            )
+        })?;
+        std::fs::write(cp, coords_to_text(coords))?;
+        let _ = writeln!(out, "coordinates written to {cp}");
+    }
+    Ok(out)
 }
 
 fn render_metrics(graph: &CsrGraph, partition: &Partition, method: &str) -> String {
@@ -598,6 +759,128 @@ mod tests {
         )))
         .unwrap();
         assert!(out.contains("60 -> 70 nodes"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn end_to_end_trace_and_stream() {
+        let dir = std::env::temp_dir().join(format!("gapart-cli-stream-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = dir.join("g.metis");
+        let xy = dir.join("g.xy");
+        let trace = dir.join("churn.trace");
+        let labels = dir.join("final.part");
+        let g2 = dir.join("final.metis");
+        let (gs, xys) = (g.to_str().unwrap(), xy.to_str().unwrap());
+        let (ts, ls, g2s) = (
+            trace.to_str().unwrap(),
+            labels.to_str().unwrap(),
+            g2.to_str().unwrap(),
+        );
+
+        run(&argv(&format!(
+            "gen --kind mesh --nodes 120 --seed 3 --out {gs} --coords-out {xys}"
+        )))
+        .unwrap();
+
+        // Generate a churn trace...
+        let out = run(&argv(&format!(
+            "trace {gs} --scenario churn --batches 3 --ops 6 --seed 9 --coords {xys} --out {ts}"
+        )))
+        .unwrap();
+        assert!(out.contains("3 churn batches"), "{out}");
+
+        // ...and replay it with a fast deterministic escalation method.
+        let out = run(&argv(&format!(
+            "stream {gs} --coords {xys} --trace {ts} --parts 4 --method mlrsb \
+             --threshold 1.3 --labels-out {ls} --graph-out {g2s}"
+        )))
+        .unwrap();
+        assert!(out.contains("replayed 3 batches"), "{out}");
+        assert!(out.contains("stream/mlrsb"), "{out}");
+        assert!(out.contains("labels written"), "{out}");
+
+        // The written labels must cover the *final* (churned) graph.
+        let final_nodes = std::fs::read_to_string(&g2)
+            .unwrap()
+            .lines()
+            .next()
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse::<usize>()
+            .unwrap();
+        let label_count = std::fs::read_to_string(&labels).unwrap().lines().count();
+        assert_eq!(label_count, final_nodes);
+        assert!(final_nodes > 120, "churn should have grown the graph");
+
+        // Streaming is deterministic: a second replay writes identical labels.
+        let first = std::fs::read_to_string(&labels).unwrap();
+        run(&argv(&format!(
+            "stream {gs} --coords {xys} --trace {ts} --parts 4 --method mlrsb \
+             --threshold 1.3 --labels-out {ls}"
+        )))
+        .unwrap();
+        assert_eq!(first, std::fs::read_to_string(&labels).unwrap());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_and_stream_failures_are_typed_errors_not_panics() {
+        let dir = std::env::temp_dir().join(format!("gapart-cli-stream2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = dir.join("g.metis");
+        let gs = g.to_str().unwrap();
+        run(&argv(&format!("gen --kind gnp --nodes 30 --out {gs}"))).unwrap();
+
+        // Unknown scenario: usage error.
+        let err = run(&argv(&format!(
+            "trace {gs} --scenario lava --batches 2 --ops 2 --out /tmp/x"
+        )))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+
+        // mesh-growth on a coordinate-less graph: clean failure.
+        let err = run(&argv(&format!(
+            "trace {gs} --scenario mesh-growth --batches 2 --ops 2 --out /tmp/x"
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("coordinates"), "{err}");
+
+        // Unknown stream method: usage error listing the registry.
+        let trace = dir.join("t.trace");
+        std::fs::write(&trace, "weight 0 2\ncommit\n").unwrap();
+        let err = run(&argv(&format!(
+            "stream {gs} --trace {} --parts 2 --method frob",
+            trace.to_str().unwrap()
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("mlga"), "{err}");
+
+        // Malformed trace: failure naming the file and line.
+        std::fs::write(&trace, "edge 0 1 1\nzap\n").unwrap();
+        let err = run(&argv(&format!(
+            "stream {gs} --trace {} --parts 2",
+            trace.to_str().unwrap()
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+
+        // Structurally invalid trace (node out of range): failure, not panic.
+        std::fs::write(&trace, "edge 0 999 1\ncommit\n").unwrap();
+        let err = run(&argv(&format!(
+            "stream {gs} --trace {} --parts 2",
+            trace.to_str().unwrap()
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+
+        // grow without --coords: usage error (the old panic-adjacent path).
+        let err = run(&argv(&format!("grow {gs} --add 5 --out /tmp/x"))).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
 
         std::fs::remove_dir_all(&dir).ok();
     }

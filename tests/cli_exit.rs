@@ -1,0 +1,83 @@
+//! Process-level tests of the `gapart-cli` binary: failing invocations
+//! must exit non-zero with a one-line diagnostic (usage errors exit 2,
+//! everything else exits 1) and never panic.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gapart-cli"))
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    // No subcommand at all.
+    let out = cli().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+
+    // grow without its required --coords flag (the old unwrap territory).
+    let out = cli()
+        .args(["grow", "g.metis", "--add", "5"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--coords"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn failed_operations_exit_1_without_panicking() {
+    let dir = std::env::temp_dir().join(format!("gapart-exit-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let g = dir.join("g.metis");
+    let gs = g.to_str().unwrap();
+    let ok = cli()
+        .args(["gen", "--kind", "gnp", "--nodes", "20", "--out", gs])
+        .output()
+        .unwrap();
+    assert!(ok.status.success());
+
+    // A structurally invalid stream trace: library error, exit 1.
+    let trace = dir.join("bad.trace");
+    std::fs::write(&trace, "edge 0 999 1\ncommit\n").unwrap();
+    let out = cli()
+        .args([
+            "stream",
+            gs,
+            "--trace",
+            trace.to_str().unwrap(),
+            "--parts",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("out of range"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+
+    // mesh-growth trace generation on a coordinate-less graph: exit 1
+    // with the typed MissingCoordinates message.
+    let out = cli()
+        .args([
+            "trace",
+            gs,
+            "--scenario",
+            "mesh-growth",
+            "--batches",
+            "1",
+            "--ops",
+            "1",
+            "--out",
+            dir.join("t.trace").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("coordinates"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
