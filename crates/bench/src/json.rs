@@ -1,0 +1,556 @@
+//! Minimal JSON support for the persistent benchmark trajectory.
+//!
+//! The workspace has no network registry, so rather than vendoring a full
+//! serde stack this module implements exactly what `BENCH_*.json` needs:
+//! a strict parser for the JSON subset the benchsuite emits (objects,
+//! arrays, strings, finite numbers, booleans, null) and the schema
+//! validator CI runs against every emitted trajectory file. Both sides —
+//! writer in the `benchsuite` binary, reader here — are tested against
+//! each other.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The schema identifier every trajectory document must carry.
+pub const TRAJECTORY_SCHEMA: &str = "gapart-bench-trajectory/v1";
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always finite).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Key order is normalized (sorted); duplicates rejected.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member lookup on an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer, if it is one
+    /// exactly (no fraction, no sign, within `u64`).
+    pub fn as_uint(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes `s` for embedding in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+///
+/// # Errors
+///
+/// A human-readable message naming the byte offset of the problem.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of document".into()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key_at = *pos;
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        if map.insert(key, value).is_some() {
+            return Err(format!("duplicate key at byte {key_at}"));
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| format!("truncated \\u escape at byte {}", *pos))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| format!("bad \\u escape at byte {}", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {}", *pos))?;
+                        // Surrogates are not worth supporting for this
+                        // schema; reject rather than mis-decode.
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| format!("surrogate \\u escape at byte {}", *pos))?;
+                        out.push(c);
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is &str, so boundaries
+                // are valid; find the next one).
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && (b[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*pos]).expect("valid UTF-8 slice"));
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let tok = std::str::from_utf8(&b[start..*pos]).expect("ascii number token");
+    let x: f64 = tok
+        .parse()
+        .map_err(|_| format!("bad number '{tok}' at byte {start}"))?;
+    if !x.is_finite() {
+        return Err(format!("non-finite number at byte {start}"));
+    }
+    Ok(Json::Num(x))
+}
+
+/// One validated row of a trajectory document, as the downstream tooling
+/// consumes it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryRow {
+    /// Scenario name (`grid`, `geometric`, `churn-stream`, …).
+    pub scenario: String,
+    /// Registry method name (or `stream+<method>` for streaming rows).
+    pub method: String,
+    /// `flat`, `multilevel`, or `stream`.
+    pub mode: String,
+    /// Forced worker-pool size for this row.
+    pub threads: u64,
+    /// Wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Final total cut weight.
+    pub total_cut: u64,
+    /// FNV-1a hash of the final labels, hex — the determinism witness.
+    pub partition_hash: String,
+}
+
+/// Validates a trajectory document against the `BENCH_*.json` schema and
+/// returns the parsed rows.
+///
+/// Checks, in order: top-level shape and types, per-row required fields,
+/// and the determinism contract — rows of the same
+/// `(scenario, method, parts, seed)` cell must report identical
+/// `partition_hash` and `total_cut` across thread counts.
+///
+/// # Errors
+///
+/// A message naming the first offending field or row.
+pub fn validate_trajectory(doc: &Json) -> Result<Vec<TrajectoryRow>, String> {
+    let need = |key: &str| doc.get(key).ok_or(format!("missing top-level '{key}'"));
+    let schema = need("schema")?
+        .as_str()
+        .ok_or("'schema' must be a string")?;
+    if schema != TRAJECTORY_SCHEMA {
+        return Err(format!(
+            "schema is '{schema}', expected '{TRAJECTORY_SCHEMA}'"
+        ));
+    }
+    need("pr")?
+        .as_uint()
+        .ok_or("'pr' must be a non-negative integer")?;
+    need("smoke")?
+        .as_bool()
+        .ok_or("'smoke' must be a boolean")?;
+    let host = need("host")?;
+    host.get("cpus")
+        .and_then(Json::as_uint)
+        .filter(|&c| c >= 1)
+        .ok_or("'host.cpus' must be a positive integer")?;
+    let results = need("results")?
+        .as_arr()
+        .ok_or("'results' must be an array")?;
+    if results.is_empty() {
+        return Err("'results' must not be empty".into());
+    }
+
+    let mut rows = Vec::with_capacity(results.len());
+    let mut cells: BTreeMap<(String, String, u64, u64), (String, u64)> = BTreeMap::new();
+    for (i, row) in results.iter().enumerate() {
+        let field = |key: &str| {
+            row.get(key)
+                .ok_or_else(|| format!("results[{i}]: missing '{key}'"))
+        };
+        let str_field = |key: &str| -> Result<String, String> {
+            field(key)?
+                .as_str()
+                .map(String::from)
+                .ok_or_else(|| format!("results[{i}]: '{key}' must be a string"))
+        };
+        let uint_field = |key: &str| -> Result<u64, String> {
+            field(key)?
+                .as_uint()
+                .ok_or_else(|| format!("results[{i}]: '{key}' must be a non-negative integer"))
+        };
+        let scenario = str_field("scenario")?;
+        let method = str_field("method")?;
+        let mode = str_field("mode")?;
+        if !matches!(mode.as_str(), "flat" | "multilevel" | "stream") {
+            return Err(format!(
+                "results[{i}]: mode '{mode}' is not flat|multilevel|stream"
+            ));
+        }
+        let threads = uint_field("threads")?;
+        if threads == 0 {
+            return Err(format!("results[{i}]: 'threads' must be positive"));
+        }
+        let parts = uint_field("parts")?;
+        if parts == 0 {
+            return Err(format!("results[{i}]: 'parts' must be positive"));
+        }
+        let seed = uint_field("seed")?;
+        uint_field("nodes")?;
+        uint_field("edges")?;
+        let wall_ms = field("wall_ms")?
+            .as_f64()
+            .filter(|&x| x >= 0.0)
+            .ok_or_else(|| format!("results[{i}]: 'wall_ms' must be a non-negative number"))?;
+        let total_cut = uint_field("total_cut")?;
+        uint_field("max_cut")?;
+        field("imbalance")?
+            .as_f64()
+            .ok_or_else(|| format!("results[{i}]: 'imbalance' must be a number"))?;
+        let partition_hash = str_field("partition_hash")?;
+        if partition_hash.len() != 16 || !partition_hash.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(format!(
+                "results[{i}]: 'partition_hash' must be 16 hex digits, got '{partition_hash}'"
+            ));
+        }
+
+        // Determinism across thread counts within one scenario cell.
+        let cell = (scenario.clone(), method.clone(), parts, seed);
+        match cells.get(&cell) {
+            None => {
+                cells.insert(cell, (partition_hash.clone(), total_cut));
+            }
+            Some((h, c)) => {
+                if *h != partition_hash || *c != total_cut {
+                    return Err(format!(
+                        "results[{i}]: {scenario}/{method} is not deterministic across \
+                         thread counts (hash {partition_hash} vs {h}, cut {total_cut} vs {c})"
+                    ));
+                }
+            }
+        }
+        rows.push(TrajectoryRow {
+            scenario,
+            method,
+            mode,
+            threads,
+            wall_ms,
+            total_cut,
+            partition_hash,
+        });
+    }
+    Ok(rows)
+}
+
+/// FNV-1a over the label array — the determinism witness recorded as
+/// `partition_hash` (16 lowercase hex digits).
+pub fn hash_labels(labels: &[u32]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &l in labels {
+        for b in l.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    format!("{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let doc =
+            parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": true, "d": null}, "e": "x\ny"}"#).unwrap();
+        assert_eq!(doc.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            doc.get("a").unwrap().as_arr().unwrap()[2],
+            Json::Num(-300.0)
+        );
+        assert_eq!(
+            doc.get("b").unwrap().get("c").unwrap().as_bool(),
+            Some(true)
+        );
+        assert_eq!(doc.get("b").unwrap().get("d").unwrap(), &Json::Null);
+        assert_eq!(doc.get("e").unwrap().as_str(), Some("x\ny"));
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let nasty = "quote\" slash\\ newline\n tab\t ctrl\u{1} unicode→";
+        let doc = parse(&format!("{{\"k\": \"{}\"}}", escape(nasty))).unwrap();
+        assert_eq!(doc.get("k").unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "{\"a\": 1} x",
+            "{\"a\": 1, \"a\": 2}",
+            "\"unterminated",
+            "nul",
+            "[1e999]",
+        ] {
+            assert!(parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn as_uint_is_exact() {
+        assert_eq!(parse("7").unwrap().as_uint(), Some(7));
+        assert_eq!(parse("7.5").unwrap().as_uint(), None);
+        assert_eq!(parse("-7").unwrap().as_uint(), None);
+    }
+
+    fn row(threads: u64, hash: &str, cut: u64) -> String {
+        format!(
+            r#"{{"scenario": "grid", "method": "mlga", "mode": "multilevel",
+               "threads": {threads}, "parts": 8, "seed": 1, "nodes": 100, "edges": 180,
+               "wall_ms": 12.5, "total_cut": {cut}, "max_cut": 9, "imbalance": 1.01,
+               "partition_hash": "{hash}"}}"#
+        )
+    }
+
+    fn doc(rows: &[String]) -> String {
+        format!(
+            r#"{{"schema": "{TRAJECTORY_SCHEMA}", "pr": 4, "smoke": true,
+               "host": {{"cpus": 4}}, "results": [{}]}}"#,
+            rows.join(",")
+        )
+    }
+
+    #[test]
+    fn accepts_a_well_formed_trajectory() {
+        let text = doc(&[
+            row(1, "00deadbeef00cafe", 42),
+            row(4, "00deadbeef00cafe", 42),
+        ]);
+        let rows = validate_trajectory(&parse(&text).unwrap()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].threads, 4);
+        assert_eq!(rows[0].total_cut, 42);
+    }
+
+    #[test]
+    fn rejects_cross_thread_nondeterminism() {
+        let text = doc(&[
+            row(1, "00deadbeef00cafe", 42),
+            row(4, "00deadbeef00beef", 42),
+        ]);
+        let err = validate_trajectory(&parse(&text).unwrap()).unwrap_err();
+        assert!(err.contains("not deterministic"), "{err}");
+        let text = doc(&[
+            row(1, "00deadbeef00cafe", 42),
+            row(4, "00deadbeef00cafe", 43),
+        ]);
+        let err = validate_trajectory(&parse(&text).unwrap()).unwrap_err();
+        assert!(err.contains("not deterministic"), "{err}");
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        let missing = r#"{"schema": "gapart-bench-trajectory/v1", "pr": 4}"#;
+        assert!(validate_trajectory(&parse(missing).unwrap()).is_err());
+        let wrong = doc(&[row(1, "00deadbeef00cafe", 1)]).replace("trajectory/v1", "v0");
+        let err = validate_trajectory(&parse(&wrong).unwrap()).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+        let bad_hash = doc(&[row(1, "xyz", 1)]);
+        assert!(validate_trajectory(&parse(&bad_hash).unwrap()).is_err());
+        let bad_mode = doc(&[row(1, "00deadbeef00cafe", 1)]).replace("multilevel", "turbo");
+        assert!(validate_trajectory(&parse(&bad_mode).unwrap()).is_err());
+    }
+
+    #[test]
+    fn label_hash_is_stable_and_sensitive() {
+        let a = hash_labels(&[0, 1, 2, 1]);
+        assert_eq!(a.len(), 16);
+        assert_eq!(a, hash_labels(&[0, 1, 2, 1]));
+        assert_ne!(a, hash_labels(&[0, 1, 2, 0]));
+        assert_ne!(hash_labels(&[]), hash_labels(&[0]));
+    }
+}

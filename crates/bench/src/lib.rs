@@ -16,6 +16,7 @@
 //! `GAPART_GENS` (default 150), `GAPART_POP` (default 320), and
 //! `GAPART_FAST=1` (shrinks everything for smoke tests).
 
+pub mod json;
 pub mod paper_data;
 pub mod runner;
 pub mod table;

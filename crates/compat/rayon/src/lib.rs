@@ -442,9 +442,36 @@ impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
     }
 }
 
+/// `par_chunks()` on slices (subset of `rayon::slice::ParallelSlice`).
+///
+/// Yields non-overlapping sub-slices of length `chunk_size` (the last
+/// chunk may be shorter), in order. The usual shape for cheap per-item
+/// work over a large flat array: one closure call per chunk instead of
+/// per item, with results still reduced in input order.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `chunk_size`-sized sub-slices of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+            min_len: 1,
+        }
+    }
+}
+
 /// Glob-import module mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+    };
 }
 
 #[cfg(test)]
@@ -520,6 +547,44 @@ mod tests {
         // One init per worker chunk (or one total when sequential) —
         // not one per item.
         assert!(INITS.load(Ordering::Relaxed) <= current_num_threads().max(1) + 1);
+    }
+
+    #[test]
+    fn par_chunks_covers_everything_in_order() {
+        let v: Vec<u32> = (0..10_001).collect();
+        let chunks: Vec<Vec<u32>> = v
+            .par_chunks(64)
+            .map(|c| c.iter().map(|&x| x * 2).collect::<Vec<_>>())
+            .collect();
+        // Chunk shapes: all 64 except a final remainder of 10_001 % 64.
+        assert_eq!(chunks.len(), 10_001usize.div_ceil(64));
+        assert!(chunks[..chunks.len() - 1].iter().all(|c| c.len() == 64));
+        assert_eq!(chunks.last().unwrap().len(), 10_001 % 64);
+        // Flattening restores input order — the determinism contract.
+        let flat: Vec<u32> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, (0..10_001).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_matches_under_any_pool_size() {
+        let v: Vec<u64> = (0..5_000).collect();
+        let reference: Vec<u64> = v.chunks(128).map(|c| c.iter().sum()).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let sums: Vec<u64> =
+                pool.install(|| v.par_chunks(128).map(|c| c.iter().sum::<u64>()).collect());
+            assert_eq!(sums, reference, "pool size {threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn par_chunks_rejects_zero() {
+        let v = [1u8, 2, 3];
+        let _ = v.par_chunks(0);
     }
 
     #[test]

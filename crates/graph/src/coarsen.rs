@@ -2,19 +2,58 @@
 //!
 //! The paper recommends "a prior graph contraction step" before applying
 //! the GA to very large graphs, and its RSB reference \[13\] (Barnard &
-//! Simon) is a multilevel method. This module provides the standard
-//! heavy-edge-matching (HEM) coarsening used by both: match each unmatched
-//! vertex to the unmatched neighbour behind the heaviest edge, merge
-//! matched pairs, and sum node/edge weights so a partition of the coarse
-//! graph has exactly the same cost on the fine graph.
+//! Simon) is a multilevel method. This module provides heavy-edge-matching
+//! (HEM) coarsening used by both: match each unmatched vertex to an
+//! unmatched neighbour behind a heaviest edge, merge matched pairs, and
+//! sum node/edge weights so a partition of the coarse graph has exactly
+//! the same cost on the fine graph.
+//!
+//! Two matching schemes are provided (see [`MatchScheme`]):
+//!
+//! * **Parallel handshake matching** (the default): every unmatched
+//!   vertex points, in parallel, at its best available neighbour under a
+//!   seeded, edge-symmetric priority; vertices that point at each other
+//!   lock in as a pair; repeat until a round locks nothing new. The fixed
+//!   point is a pure function of `(graph, seed)` — never of scheduling or
+//!   thread count — because each round's preferences depend only on the
+//!   matched set left by earlier rounds.
+//! * **Sequential randomized HEM**: the original implementation, visiting
+//!   vertices in a seeded random order. Kept as the cross-check reference
+//!   for the parallel scheme (and exercised by proptests).
+//!
+//! Contraction itself (coarse node weights, centroid coordinates, merged
+//! coarse edges) is shared by both schemes and runs as index-ordered
+//! parallel reductions over the coarse vertices, so the whole module is
+//! bit-identical for any worker-pool size.
 
-use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
 use crate::geometry::Point2;
 use crate::partition::Partition;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// Sentinel for "not matched yet" in mate arrays.
+const UNMATCHED: u32 = u32::MAX;
+
+/// Minimum items per worker for the parallel phases: vertices are cheap
+/// to process individually, so small levels run inline rather than
+/// paying thread-spawn overhead.
+const PAR_MIN_LEN: usize = 2048;
+
+/// Which matching algorithm drives a coarsening round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatchScheme {
+    /// Deterministic parallel handshake matching (the default): rounds of
+    /// mutual-preference locking whose fixed point depends only on
+    /// `(graph, seed)`, never on thread count.
+    #[default]
+    ParallelHandshake,
+    /// The original sequential randomized heavy-edge matching, preserved
+    /// as the cross-check reference for the parallel scheme.
+    SequentialHem,
+}
 
 /// One coarsening level: the coarse graph plus the fine→coarse vertex map.
 #[derive(Debug, Clone)]
@@ -44,19 +83,110 @@ impl Coarsening {
     }
 }
 
-/// One round of heavy-edge matching. Visits vertices in a seeded random
-/// order; each unmatched vertex merges with its unmatched neighbour of
-/// maximum edge weight (ties broken by lower id), or stays singleton.
+/// SplitMix64 — the mixing function behind the seeded edge priorities.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Total order on edges used by the handshake scheme: heaviest weight
+/// first, then a seeded hash, then the packed endpoint pair as the final
+/// distinct tie-break. Symmetric in the endpoints, so both sides of an
+/// edge agree on its rank — the property the progress argument needs.
+#[inline]
+fn edge_key(seed: u64, w: u32, v: u32, u: u32) -> (u32, u64, u64) {
+    let packed = ((v.min(u) as u64) << 32) | v.max(u) as u64;
+    (w, splitmix64(seed ^ packed), packed)
+}
+
+/// Deterministic parallel handshake matching. Each round, every active
+/// (unmatched, not yet isolated) vertex computes its preferred available
+/// neighbour — the incident edge of maximum [`edge_key`] — in parallel;
+/// mutually-preferring pairs lock in sequentially (cheap, `O(active)`).
+/// The globally best available edge is always mutual, so every round with
+/// any available edge locks at least one pair and the loop terminates.
 ///
-/// The coarse graph is never larger than the fine one and is strictly
-/// smaller whenever any edge has both endpoints unmatched at visit time.
-pub fn coarsen_hem(graph: &CsrGraph, seed: u64) -> Coarsening {
+/// `max_weight` bounds the node weight a merge may create (pairs with
+/// `w(v) + w(u) > max_weight` are never formed). Without it the
+/// weight-first mutual preference is assortative — heavy nodes keep
+/// pairing with each other, collapsing multilevel stacks into a few
+/// hub nodes that stall contraction and wreck coarse-level balance.
+/// [`coarsen_to_with`] supplies the standard `1.5 × total / target` cap;
+/// a single explicit round is uncapped.
+fn match_handshake(graph: &CsrGraph, seed: u64, max_weight: u32) -> Vec<u32> {
+    let n = graph.num_nodes();
+    let mut mate = vec![UNMATCHED; n];
+    let mut pref = vec![UNMATCHED; n];
+    let mut active: Vec<u32> = (0..n as u32).collect();
+    while !active.is_empty() {
+        // Parallel preference scan against the frozen matched set.
+        let prefs: Vec<u32> = active
+            .par_chunks(PAR_MIN_LEN)
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .map(|&v| {
+                        let wv = graph.node_weight(v);
+                        let mut best: Option<((u32, u64, u64), u32)> = None;
+                        for (&u, &w) in graph.neighbors(v).iter().zip(graph.edge_weights(v)) {
+                            if mate[u as usize] == UNMATCHED
+                                && wv.saturating_add(graph.node_weight(u)) <= max_weight
+                            {
+                                let key = edge_key(seed, w, v, u);
+                                if best.is_none_or(|(bk, _)| key > bk) {
+                                    best = Some((key, u));
+                                }
+                            }
+                        }
+                        best.map_or(UNMATCHED, |(_, u)| u)
+                    })
+                    .collect::<Vec<u32>>()
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
+            .collect();
+        for (&v, &p) in active.iter().zip(&prefs) {
+            pref[v as usize] = p;
+        }
+        // Lock mutual pairs; a vertex with no available neighbour can
+        // never regain one (the matched set only grows), so it leaves the
+        // active set for good and becomes a singleton at the end.
+        let mut locked = 0usize;
+        for &v in &active {
+            let u = pref[v as usize];
+            if u != UNMATCHED && mate[v as usize] == UNMATCHED && pref[u as usize] == v {
+                mate[v as usize] = u;
+                mate[u as usize] = v;
+                locked += 1;
+            }
+        }
+        if locked == 0 {
+            break;
+        }
+        active.retain(|&v| mate[v as usize] == UNMATCHED && pref[v as usize] != UNMATCHED);
+    }
+    for (v, m) in mate.iter_mut().enumerate() {
+        if *m == UNMATCHED {
+            *m = v as u32; // singleton
+        }
+    }
+    mate
+}
+
+/// The original sequential randomized HEM. Visits vertices in a seeded
+/// random order; each unmatched vertex merges with its unmatched
+/// neighbour of maximum edge weight (ties broken by lower id), or stays
+/// singleton.
+fn match_sequential(graph: &CsrGraph, seed: u64) -> Vec<u32> {
     let n = graph.num_nodes();
     let mut order: Vec<u32> = (0..n as u32).collect();
     let mut rng = StdRng::seed_from_u64(seed ^ 0x6865_6d00); // "hem"
     order.shuffle(&mut rng);
 
-    const UNMATCHED: u32 = u32::MAX;
     let mut mate = vec![UNMATCHED; n];
     for &v in &order {
         if mate[v as usize] != UNMATCHED {
@@ -82,58 +212,183 @@ pub fn coarsen_hem(graph: &CsrGraph, seed: u64) -> Coarsening {
             None => mate[v as usize] = v, // singleton
         }
     }
+    mate
+}
 
-    // Assign coarse ids: the lower endpoint of each pair owns the id.
+/// Contracts `graph` along a complete matching (`mate[v] == v` marks a
+/// singleton): assigns coarse ids in fine-id order, then computes coarse
+/// node weights, centroid coordinates, and merged coarse edges as
+/// index-ordered parallel reductions over the coarse vertices.
+fn contract(graph: &CsrGraph, mate: &[u32]) -> Coarsening {
+    let n = graph.num_nodes();
+
+    // Coarse ids: the lower endpoint of each pair owns the id. `rep[cv]`
+    // is that owner, so each coarse vertex knows its 1–2 fine preimages
+    // (`rep` and `mate[rep]`) without a scatter pass.
     let mut map = vec![u32::MAX; n];
-    let mut next = 0u32;
+    let mut rep: Vec<u32> = Vec::with_capacity(n / 2 + 1);
     for v in 0..n as u32 {
         if map[v as usize] != u32::MAX {
             continue;
         }
-        let m = mate[v as usize];
+        let next = rep.len() as u32;
         map[v as usize] = next;
+        let m = mate[v as usize];
         if m != v {
             map[m as usize] = next;
         }
-        next += 1;
+        rep.push(v);
     }
-    let n_coarse = next as usize;
+    let n_coarse = rep.len();
 
-    // Coarse node weights and centroid coordinates.
-    let mut vweights = vec![0u32; n_coarse];
-    for v in 0..n {
-        vweights[map[v] as usize] =
-            vweights[map[v] as usize].saturating_add(graph.node_weight(v as u32));
-    }
+    // Fine preimages of a coarse vertex, singleton-aware.
+    let group = |cv: usize| {
+        let a = rep[cv];
+        let b = mate[a as usize];
+        (a, if b == a { None } else { Some(b) })
+    };
+
+    // Coarse node weights (sums, saturating like the builder would).
+    let vweights: Vec<u32> = (0..n_coarse)
+        .into_par_iter()
+        .with_min_len(PAR_MIN_LEN)
+        .map(|cv| {
+            let (a, b) = group(cv);
+            let wa = graph.node_weight(a);
+            b.map_or(wa, |b| wa.saturating_add(graph.node_weight(b)))
+        })
+        .collect();
+
+    // Centroid coordinates: node-weight-weighted mean of the group, with
+    // an unweighted-mean fallback for a zero-weight group — `sx / 0`
+    // would be NaN and poison `geometry::NearestGrid` and every coords
+    // consumer downstream.
     let coords = graph.coords().map(|fine| {
-        let mut sums = vec![(0.0f64, 0.0f64, 0.0f64); n_coarse];
-        for (v, p) in fine.iter().enumerate() {
-            let wv = graph.node_weight(v as u32) as f64;
-            let s = &mut sums[map[v] as usize];
-            s.0 += p.x * wv;
-            s.1 += p.y * wv;
-            s.2 += wv;
-        }
-        sums.into_iter()
-            .map(|(sx, sy, sw)| Point2::new(sx / sw, sy / sw))
+        (0..n_coarse)
+            .into_par_iter()
+            .with_min_len(PAR_MIN_LEN)
+            .map(|cv| {
+                let (a, b) = group(cv);
+                let members = [Some(a), b];
+                let (mut sx, mut sy, mut sw, mut count) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+                for v in members.into_iter().flatten() {
+                    let wv = graph.node_weight(v) as f64;
+                    let p = fine[v as usize];
+                    sx += p.x * wv;
+                    sy += p.y * wv;
+                    sw += wv;
+                    count += 1.0;
+                }
+                if sw > 0.0 {
+                    Point2::new(sx / sw, sy / sw)
+                } else {
+                    let (mut ux, mut uy) = (0.0f64, 0.0f64);
+                    for v in members.into_iter().flatten() {
+                        let p = fine[v as usize];
+                        ux += p.x;
+                        uy += p.y;
+                    }
+                    Point2::new(ux / count, uy / count)
+                }
+            })
             .collect::<Vec<_>>()
     });
 
-    // Coarse edges: builder merges duplicates by summing weights, which is
-    // exactly the contraction semantics we need.
-    let mut b = GraphBuilder::with_nodes(n_coarse);
-    for (u, v, w) in graph.edges() {
-        let (cu, cv) = (map[u as usize], map[v as usize]);
-        if cu != cv {
-            b.push_edge(cu, cv, w);
+    // Coarse adjacency, one merged sorted row per coarse vertex. Summing
+    // in u64 and clamping makes the result independent of accumulation
+    // order (u32 saturation is order-sensitive only at the limit).
+    let rows: Vec<Vec<(u32, u32)>> = (0..n_coarse)
+        .into_par_iter()
+        .with_min_len(PAR_MIN_LEN / 16)
+        .map_init(
+            || Vec::<(u32, u64)>::with_capacity(16),
+            |scratch, cv| {
+                scratch.clear();
+                let (a, b) = group(cv);
+                for v in [Some(a), b].into_iter().flatten() {
+                    for (&u, &w) in graph.neighbors(v).iter().zip(graph.edge_weights(v)) {
+                        let cu = map[u as usize];
+                        if cu as usize != cv {
+                            scratch.push((cu, w as u64));
+                        }
+                    }
+                }
+                scratch.sort_unstable_by_key(|&(cu, _)| cu);
+                let mut row: Vec<(u32, u32)> = Vec::with_capacity(scratch.len());
+                for &(cu, w) in scratch.iter() {
+                    match row.last_mut() {
+                        Some((last, lw)) if *last == cu => {
+                            *lw = (*lw as u64 + w).min(u32::MAX as u64) as u32
+                        }
+                        _ => row.push((cu, w.min(u32::MAX as u64) as u32)),
+                    }
+                }
+                row
+            },
+        )
+        .collect();
+
+    // Assemble the CSR arrays directly (prefix sums + ordered copy); the
+    // per-row construction above already guarantees sorted, deduplicated,
+    // symmetric rows, which is exactly the builder's postcondition.
+    let mut xadj = Vec::with_capacity(n_coarse + 1);
+    xadj.push(0usize);
+    for row in &rows {
+        xadj.push(xadj.last().unwrap() + row.len());
+    }
+    let total = *xadj.last().unwrap();
+    let mut adjncy = Vec::with_capacity(total);
+    let mut eweights = Vec::with_capacity(total);
+    for row in &rows {
+        for &(cu, w) in row {
+            adjncy.push(cu);
+            eweights.push(w);
         }
     }
-    b = b.node_weights(vweights);
-    if let Some(c) = coords {
-        b = b.coords(c);
-    }
-    let coarse = b.build().expect("contraction preserves validity");
+    let coarse = CsrGraph {
+        xadj,
+        adjncy,
+        eweights,
+        vweights,
+        coords,
+    };
+    debug_assert!(coarse.validate().is_ok());
     Coarsening { coarse, map }
+}
+
+/// One round of heavy-edge matching with the default (parallel handshake)
+/// scheme. Deterministic for any worker-pool size: the result is a pure
+/// function of `(graph, seed)`.
+///
+/// The coarse graph is never larger than the fine one and is strictly
+/// smaller whenever any edge has both endpoints unmatched at fixed point.
+pub fn coarsen_hem(graph: &CsrGraph, seed: u64) -> Coarsening {
+    coarsen_hem_with(graph, seed, MatchScheme::default())
+}
+
+/// One round of heavy-edge matching with an explicit [`MatchScheme`].
+pub fn coarsen_hem_with(graph: &CsrGraph, seed: u64, scheme: MatchScheme) -> Coarsening {
+    coarsen_round(graph, seed, scheme, u32::MAX)
+}
+
+/// One matching + contraction round under a merge-weight cap (only the
+/// handshake scheme is capped; the sequential reference is preserved
+/// exactly as it always behaved).
+fn coarsen_round(graph: &CsrGraph, seed: u64, scheme: MatchScheme, max_weight: u32) -> Coarsening {
+    let mate = match scheme {
+        MatchScheme::ParallelHandshake => match_handshake(graph, seed, max_weight),
+        MatchScheme::SequentialHem => match_sequential(graph, seed),
+    };
+    contract(graph, &mate)
+}
+
+/// The preserved sequential reference: one round of the original
+/// randomized HEM. Identical to
+/// [`coarsen_hem_with`]`(graph, seed, MatchScheme::SequentialHem)`; kept
+/// as a named entry point so tests can cross-check the flag plumbing.
+pub fn coarsen_hem_seq(graph: &CsrGraph, seed: u64) -> Coarsening {
+    let mate = match_sequential(graph, seed);
+    contract(graph, &mate)
 }
 
 /// Coarsens repeatedly until the graph has at most `target_nodes` nodes or
@@ -145,7 +400,22 @@ pub fn coarsen_hem(graph: &CsrGraph, seed: u64) -> Coarsening {
 /// single-node or empty graph is already at its floor, and a star shrinks
 /// by only one pair per round until the 5% rule stops it.
 pub fn coarsen_to(graph: &CsrGraph, target_nodes: usize, seed: u64) -> Vec<Coarsening> {
+    coarsen_to_with(graph, target_nodes, seed, MatchScheme::default())
+}
+
+/// [`coarsen_to`] with an explicit [`MatchScheme`].
+pub fn coarsen_to_with(
+    graph: &CsrGraph,
+    target_nodes: usize,
+    seed: u64,
+    scheme: MatchScheme,
+) -> Vec<Coarsening> {
     assert!(target_nodes > 0, "target must be positive");
+    // METIS-style merge cap: no coarse node may exceed 1.5× the average
+    // node weight the target size implies. Total weight is conserved by
+    // contraction, so one cap serves every level.
+    let max_weight = ((graph.total_node_weight() as f64 * 1.5 / target_nodes as f64).ceil() as u64)
+        .clamp(1, u32::MAX as u64) as u32;
     let mut levels: Vec<Coarsening> = Vec::new();
     let mut round = 0u64;
     loop {
@@ -159,7 +429,7 @@ pub fn coarsen_to(graph: &CsrGraph, target_nodes: usize, seed: u64) -> Vec<Coars
         if current.num_edges() == 0 {
             break; // every vertex is isolated; a round would be a no-op
         }
-        let level = coarsen_hem(current, seed.wrapping_add(round));
+        let level = coarsen_round(current, seed.wrapping_add(round), scheme, max_weight);
         if level.coarse.num_nodes() as f64 > before as f64 * 0.95 {
             break; // diminishing returns (e.g. star graphs)
         }
@@ -182,7 +452,7 @@ pub fn project_through(levels: &[Coarsening], coarsest: &Partition) -> Partition
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builder::from_edges;
+    use crate::builder::{from_edges, GraphBuilder};
     use crate::generators::{paper_graph, ring_lattice};
     use crate::partition::{cut_size, PartitionMetrics};
     use crate::traversal::is_connected;
@@ -190,23 +460,29 @@ mod tests {
     #[test]
     fn coarsening_halves_a_matching_friendly_graph() {
         let g = ring_lattice(16, 1);
-        let c = coarsen_hem(&g, 1);
-        assert!(c.coarse.num_nodes() <= 12, "got {}", c.coarse.num_nodes());
-        assert!(c.coarse.num_nodes() >= 8);
+        for scheme in [MatchScheme::ParallelHandshake, MatchScheme::SequentialHem] {
+            let c = coarsen_hem_with(&g, 1, scheme);
+            assert!(c.coarse.num_nodes() <= 12, "got {}", c.coarse.num_nodes());
+            assert!(c.coarse.num_nodes() >= 8);
+        }
     }
 
     #[test]
     fn node_weight_is_conserved() {
         let g = paper_graph(144);
-        let c = coarsen_hem(&g, 3);
-        assert_eq!(c.coarse.total_node_weight(), g.total_node_weight());
+        for scheme in [MatchScheme::ParallelHandshake, MatchScheme::SequentialHem] {
+            let c = coarsen_hem_with(&g, 3, scheme);
+            assert_eq!(c.coarse.total_node_weight(), g.total_node_weight());
+        }
     }
 
     #[test]
     fn connectivity_is_preserved() {
         let g = paper_graph(167);
-        let c = coarsen_hem(&g, 5);
-        assert!(is_connected(&c.coarse));
+        for scheme in [MatchScheme::ParallelHandshake, MatchScheme::SequentialHem] {
+            let c = coarsen_hem_with(&g, 5, scheme);
+            assert!(is_connected(&c.coarse));
+        }
     }
 
     #[test]
@@ -214,28 +490,48 @@ mod tests {
         // Key invariant: summed weights mean a coarse partition's cut and
         // loads equal the projected fine partition's cut and loads.
         let g = paper_graph(139);
-        let c = coarsen_hem(&g, 9);
-        let coarse_p = Partition::round_robin(c.coarse.num_nodes(), 4);
-        let fine_p = c.project(&coarse_p);
-        let mc = PartitionMetrics::compute(&c.coarse, &coarse_p);
-        let mf = PartitionMetrics::compute(&g, &fine_p);
-        assert_eq!(mc.total_cut, mf.total_cut);
-        assert_eq!(mc.part_loads, mf.part_loads);
+        for scheme in [MatchScheme::ParallelHandshake, MatchScheme::SequentialHem] {
+            let c = coarsen_hem_with(&g, 9, scheme);
+            let coarse_p = Partition::round_robin(c.coarse.num_nodes(), 4);
+            let fine_p = c.project(&coarse_p);
+            let mc = PartitionMetrics::compute(&c.coarse, &coarse_p);
+            let mf = PartitionMetrics::compute(&g, &fine_p);
+            assert_eq!(mc.total_cut, mf.total_cut);
+            assert_eq!(mc.part_loads, mf.part_loads);
+        }
     }
 
     #[test]
     fn map_covers_every_fine_vertex() {
         let g = paper_graph(98);
-        let c = coarsen_hem(&g, 2);
-        assert_eq!(c.map.len(), 98);
-        let max = *c.map.iter().max().unwrap() as usize;
-        assert_eq!(max + 1, c.coarse.num_nodes());
-        // Each coarse vertex has 1 or 2 fine preimages under one HEM round.
-        let mut counts = vec![0; c.coarse.num_nodes()];
-        for &cv in &c.map {
-            counts[cv as usize] += 1;
+        for scheme in [MatchScheme::ParallelHandshake, MatchScheme::SequentialHem] {
+            let c = coarsen_hem_with(&g, 2, scheme);
+            assert_eq!(c.map.len(), 98);
+            let max = *c.map.iter().max().unwrap() as usize;
+            assert_eq!(max + 1, c.coarse.num_nodes());
+            // Each coarse vertex has 1 or 2 fine preimages after one round.
+            let mut counts = vec![0; c.coarse.num_nodes()];
+            for &cv in &c.map {
+                counts[cv as usize] += 1;
+            }
+            assert!(counts.iter().all(|&k| k == 1 || k == 2));
         }
-        assert!(counts.iter().all(|&k| k == 1 || k == 2));
+    }
+
+    #[test]
+    fn handshake_matches_are_edges() {
+        // Every merged pair must actually be adjacent in the fine graph.
+        let g = paper_graph(211);
+        let c = coarsen_hem(&g, 17);
+        let mut groups: Vec<Vec<u32>> = vec![Vec::new(); c.coarse.num_nodes()];
+        for (v, &cv) in c.map.iter().enumerate() {
+            groups[cv as usize].push(v as u32);
+        }
+        for group in groups {
+            if let [a, b] = group[..] {
+                assert!(g.has_edge(a, b), "merged non-adjacent pair {a},{b}");
+            }
+        }
     }
 
     #[test]
@@ -270,15 +566,28 @@ mod tests {
         // loop forever.
         let edges: Vec<(u32, u32)> = (1..50u32).map(|v| (0, v)).collect();
         let g = from_edges(50, &edges).unwrap();
-        let levels = coarsen_to(&g, 2, 0);
-        assert!(levels.len() < 60);
+        for scheme in [MatchScheme::ParallelHandshake, MatchScheme::SequentialHem] {
+            let levels = coarsen_to_with(&g, 2, 0, scheme);
+            assert!(levels.len() < 60);
+        }
     }
 
     #[test]
     fn deterministic() {
         let g = paper_graph(88);
-        let a = coarsen_hem(&g, 4);
-        let b = coarsen_hem(&g, 4);
+        for scheme in [MatchScheme::ParallelHandshake, MatchScheme::SequentialHem] {
+            let a = coarsen_hem_with(&g, 4, scheme);
+            let b = coarsen_hem_with(&g, 4, scheme);
+            assert_eq!(a.coarse, b.coarse);
+            assert_eq!(a.map, b.map);
+        }
+    }
+
+    #[test]
+    fn sequential_flag_matches_the_reference_entry_point() {
+        let g = paper_graph(133);
+        let a = coarsen_hem_with(&g, 21, MatchScheme::SequentialHem);
+        let b = coarsen_hem_seq(&g, 21);
         assert_eq!(a.coarse, b.coarse);
         assert_eq!(a.map, b.map);
     }
@@ -332,5 +641,86 @@ mod tests {
         let fp = project_through(&levels, &cp);
         assert_eq!(fp.num_nodes(), 4);
         assert_eq!(cut_size(coarsest, &cp), cut_size(&g, &fp));
+    }
+
+    #[test]
+    fn contraction_matches_builder_construction() {
+        // The direct CSR assembly must agree with what the validated
+        // builder would produce from the same matching.
+        let g = paper_graph(177);
+        let c = coarsen_hem(&g, 6);
+        let mut b = GraphBuilder::with_nodes(c.coarse.num_nodes());
+        for (u, v, w) in g.edges() {
+            let (cu, cv) = (c.map[u as usize], c.map[v as usize]);
+            if cu != cv {
+                b.push_edge(cu, cv, w);
+            }
+        }
+        let mut vw = vec![0u32; c.coarse.num_nodes()];
+        for (v, &cv) in c.map.iter().enumerate() {
+            vw[cv as usize] = vw[cv as usize].saturating_add(g.node_weight(v as u32));
+        }
+        let rebuilt = b.node_weights(vw).build().unwrap();
+        assert_eq!(rebuilt.xadj(), c.coarse.xadj());
+        assert_eq!(rebuilt.adjncy(), c.coarse.adjncy());
+        assert_eq!(rebuilt.node_weights(), c.coarse.node_weights());
+    }
+
+    #[test]
+    fn zero_weight_group_centroid_falls_back_to_unweighted_mean() {
+        // Regression: a merge group with total node weight 0 used to get
+        // a NaN centroid (`sx / 0`). Zero node weights are unreachable
+        // through the builder, so construct the CSR directly, as the
+        // streaming layers could.
+        let mut g = from_edges(4, &[(0, 1), (2, 3), (1, 2)]).unwrap();
+        g.coords = Some(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 2.0),
+            Point2::new(4.0, 0.0),
+            Point2::new(6.0, 2.0),
+        ]);
+        g.vweights = vec![0, 0, 1, 3];
+        for scheme in [MatchScheme::ParallelHandshake, MatchScheme::SequentialHem] {
+            for seed in 0..4u64 {
+                let c = coarsen_hem_with(&g, seed, scheme);
+                let coords = c.coarse.coords().expect("coords survive contraction");
+                for p in coords {
+                    assert!(
+                        p.x.is_finite() && p.y.is_finite(),
+                        "{scheme:?} seed {seed}: non-finite centroid {p:?}"
+                    );
+                }
+                // Wherever {0,1} merged, the centroid is their plain mean.
+                if c.map[0] == c.map[1] {
+                    let p = coords[c.map[0] as usize];
+                    assert_eq!((p.x, p.y), (1.0, 1.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_weight_nodes_survive_a_full_coarsen_stack() {
+        // A zero-weight region must coarsen through multiple levels with
+        // every centroid finite, so `geometry::NearestGrid` stays usable.
+        let n = 64usize;
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|v| (v, v + 1)).collect();
+        let mut g = from_edges(n, &edges).unwrap();
+        g.coords = Some(
+            (0..n)
+                .map(|i| Point2::new(i as f64, (i % 7) as f64))
+                .collect(),
+        );
+        // The first half of the chain is weightless.
+        g.vweights = (0..n).map(|i| if i < n / 2 { 0 } else { 2 }).collect();
+        let levels = coarsen_to(&g, 8, 3);
+        assert!(!levels.is_empty());
+        for level in &levels {
+            for p in level.coarse.coords().unwrap() {
+                assert!(p.x.is_finite() && p.y.is_finite(), "NaN centroid: {p:?}");
+            }
+        }
+        let coarsest = &levels.last().unwrap().coarse;
+        assert_eq!(coarsest.total_node_weight(), g.total_node_weight());
     }
 }

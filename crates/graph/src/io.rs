@@ -50,10 +50,17 @@ pub fn to_metis(graph: &CsrGraph) -> String {
 /// Parses a METIS-format document produced by [`to_metis`] (or by METIS
 /// itself, for the `000`/`001`/`010`/`011` formats).
 ///
+/// Every undirected edge must appear on **both** endpoint rows with the
+/// same weight (and the same multiplicity, for repeated entries); a
+/// document whose rows disagree — an adjacency entry present on one row
+/// only, or mismatched duplicate edge weights — is rejected rather than
+/// silently half-read.
+///
 /// # Errors
 ///
-/// [`GraphError::Parse`] for malformed input; builder errors for
-/// structurally invalid graphs (self-loops, out-of-range ids, …).
+/// [`GraphError::Parse`] for malformed input, including asymmetric
+/// adjacency rows; builder errors for structurally invalid graphs
+/// (out-of-range ids, zero weights, …).
 pub fn from_metis(text: &str) -> Result<CsrGraph, GraphError> {
     // Comments are always skipped; empty lines are significant *after*
     // the header (an isolated vertex serializes as an empty line) but
@@ -102,6 +109,10 @@ pub fn from_metis(text: &str) -> Result<CsrGraph, GraphError> {
     let mut b = GraphBuilder::with_nodes(n);
     let mut vweights = vec![1u32; n];
     let mut rows = 0usize;
+    // Every directed adjacency entry, as (min, max, from_lower_row, w,
+    // line): after parsing, each {a, b} group must carry the same weight
+    // multiset from both rows — the symmetry check below.
+    let mut entries: Vec<(u32, u32, bool, u32, usize)> = Vec::new();
     #[allow(clippy::needless_range_loop, clippy::explicit_counter_loop)]
     for v in 0..n {
         let (lno, line) = lines.next().ok_or(GraphError::Parse {
@@ -150,13 +161,79 @@ pub fn from_metis(text: &str) -> Result<CsrGraph, GraphError> {
                 1
             };
             let u = (nbr1 - 1) as u32;
-            // Each undirected edge appears on both endpoint lines; keep the
-            // canonical direction only so builder merging doesn't double
-            // the weight.
-            if (v as u32) < u {
-                b.push_edge(v as u32, u, w);
+            let v = v as u32;
+            if u == v {
+                return Err(GraphError::Parse {
+                    line: lno,
+                    message: format!("vertex {nbr1} lists itself as a neighbour"),
+                });
             }
+            entries.push((v.min(u), v.max(u), v < u, w, lno));
         }
+    }
+    // Symmetry of presence and weight: each undirected edge appears once
+    // per endpoint row (twice for a deliberately doubled edge, and so
+    // on), with identical weights. The old parser kept only the `v < u`
+    // copy, so a document whose two rows disagreed parsed "successfully"
+    // with silently wrong data.
+    entries.sort_unstable();
+    let mut i = 0usize;
+    while i < entries.len() {
+        let (a, bb, _, _, _) = entries[i];
+        let mut j = i;
+        while j < entries.len() && entries[j].0 == a && entries[j].1 == bb {
+            j += 1;
+        }
+        let group = &entries[i..j];
+        let lower: Vec<u32> = group.iter().filter(|e| e.2).map(|e| e.3).collect();
+        let upper: Vec<u32> = group.iter().filter(|e| !e.2).map(|e| e.3).collect();
+        let line = group[0].4;
+        if lower.len() != upper.len() {
+            let (present, missing) = if lower.is_empty() || upper.len() > lower.len() {
+                (bb, a)
+            } else {
+                (a, bb)
+            };
+            return Err(GraphError::Parse {
+                line,
+                message: format!(
+                    "edge {}-{} appears {} time(s) on vertex {}'s row but {} on vertex {}'s \
+                     row (adjacency must be symmetric)",
+                    a + 1,
+                    bb + 1,
+                    lower.len().max(upper.len()),
+                    present + 1,
+                    lower.len().min(upper.len()),
+                    missing + 1
+                ),
+            });
+        }
+        // Both sides sorted (the entry sort includes the weight), so a
+        // positional comparison checks multiset equality.
+        if lower != upper {
+            let (wl, wu) = lower
+                .iter()
+                .zip(&upper)
+                .find(|(l, u)| l != u)
+                .map(|(&l, &u)| (l, u))
+                .expect("unequal sorted vectors differ somewhere");
+            return Err(GraphError::Parse {
+                line,
+                message: format!(
+                    "edge {}-{} has weight {} on vertex {}'s row but {} on vertex {}'s row",
+                    a + 1,
+                    bb + 1,
+                    wl,
+                    a + 1,
+                    wu,
+                    bb + 1
+                ),
+            });
+        }
+        for &w in &lower {
+            b.push_edge(a, bb, w);
+        }
+        i = j;
     }
     let g = b.node_weights(vweights).build()?;
     if g.num_edges() != m {
@@ -260,6 +337,49 @@ mod tests {
         let text = "2 1\n2\n5\n";
         let err = from_metis(text).unwrap_err();
         assert!(matches!(err, GraphError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_one_sided_adjacency() {
+        // Regression: vertex 1 lists 3 as a neighbour but vertex 3's row
+        // is empty. The old parser kept only the `v < u` copy, so this
+        // parsed "successfully" (with a misleading edge-count error at
+        // best, silently wrong data at worst).
+        let text = "3 2\n2 3\n1\n\n";
+        let err = from_metis(text).unwrap_err();
+        assert!(err.to_string().contains("symmetric"), "wrong error: {err}");
+        // The mirror case — present only on the higher row — is caught
+        // too, even though the old parser simply ignored that copy.
+        let text = "3 1\n2\n1 3\n\n";
+        let err = from_metis(text).unwrap_err();
+        assert!(err.to_string().contains("symmetric"), "wrong error: {err}");
+    }
+
+    #[test]
+    fn rejects_mismatched_duplicate_edge_weights() {
+        // Regression: the two endpoint rows disagree on the edge weight;
+        // the old parser silently took vertex 1's copy.
+        let text = "2 1 001\n2 7\n1 9\n";
+        let err = from_metis(text).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("weight 7") && msg.contains('9'),
+            "wrong error: {msg}"
+        );
+        // Doubled edges must match as a multiset: 1 lists {4, 5}, 2
+        // lists {4, 6} — same count, different weights.
+        let text = "2 1 001\n2 4 2 5\n1 4 1 6\n";
+        let err = from_metis(text).unwrap_err();
+        assert!(err.to_string().contains("weight"), "wrong error: {err}");
+        // Symmetric doubled edges still merge by summing, as before.
+        let g = from_metis("2 1 001\n2 4 2 5\n1 4 1 5\n").unwrap();
+        assert_eq!(g.edge_weight(0, 1), Some(9));
+    }
+
+    #[test]
+    fn rejects_self_reference() {
+        let err = from_metis("2 1\n1 2\n1\n").unwrap_err();
+        assert!(err.to_string().contains("itself"), "wrong error: {err}");
     }
 
     #[test]

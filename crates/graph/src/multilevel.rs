@@ -36,7 +36,7 @@
 //! [`Partitioner`] contract (asserted by `tests/partitioner_contract.rs`
 //! at the workspace root).
 
-use crate::coarsen::coarsen_to;
+use crate::coarsen::{coarsen_to_with, MatchScheme};
 use crate::csr::CsrGraph;
 use crate::partitioner::{PartitionReport, Partitioner, PartitionerError};
 use crate::refine::{refine_kway, RefineOptions};
@@ -48,6 +48,10 @@ pub struct MultilevelConfig {
     /// effective target is never below `2 × num_parts`, so the inner
     /// algorithm always sees more nodes than parts.
     pub coarsen_target: usize,
+    /// Matching algorithm for each coarsening round: the deterministic
+    /// parallel handshake (default) or the preserved sequential HEM
+    /// reference (see [`MatchScheme`]).
+    pub match_scheme: MatchScheme,
     /// Per-level refinement options (balance slack and sweep budget).
     pub refine: RefineOptions,
 }
@@ -56,6 +60,7 @@ impl Default for MultilevelConfig {
     fn default() -> Self {
         MultilevelConfig {
             coarsen_target: 64,
+            match_scheme: MatchScheme::default(),
             refine: RefineOptions::default(),
         }
     }
@@ -130,7 +135,7 @@ impl Partitioner for MultilevelPartitioner {
         // Never coarsen below the part count; HEM at most halves per
         // round, so the coarsest graph keeps strictly more nodes than k.
         let target = self.config.coarsen_target.max(num_parts as usize * 2);
-        let levels = coarsen_to(graph, target, seed);
+        let levels = coarsen_to_with(graph, target, seed, self.config.match_scheme);
         let coarsest = levels.last().map_or(graph, |l| &l.coarse);
 
         let mut partition = self.inner.partition(coarsest, num_parts, seed)?.partition;
@@ -151,7 +156,7 @@ impl Partitioner for MultilevelPartitioner {
 mod tests {
     use super::*;
     use crate::builder::from_edges;
-    use crate::coarsen::project_through;
+    use crate::coarsen::{coarsen_to, project_through};
     use crate::generators::{grid2d, jittered_mesh, GridKind};
     use crate::partition::{cut_size, Partition};
     use std::cell::Cell;
@@ -302,6 +307,7 @@ mod tests {
             Box::new(Blocks),
             MultilevelConfig {
                 coarsen_target: 2,
+                match_scheme: MatchScheme::SequentialHem,
                 refine: RefineOptions {
                     balance_slack: 0.5,
                     max_passes: 2,

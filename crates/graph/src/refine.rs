@@ -21,12 +21,32 @@
 //! [`crate::dynamic`]), where a full sweep would waste `O(V + E)` work
 //! on untouched parts of the graph.
 //!
-//! Determinism: vertices are scanned in id order and ties break toward
-//! the earlier-discovered part, so a refinement run is a pure function of
-//! `(graph, partition, options)` (plus the region for the local variant).
+//! # Two-phase parallel sweeps
+//!
+//! Each sweep runs in two phases. The **gain scan** walks every candidate
+//! in parallel against a frozen snapshot of the labels and keeps the ones
+//! with a strictly cut-improving move — the `O(V + E)` bulk of the work,
+//! chunked across workers and reduced in index order. The **apply phase**
+//! then revisits only those (typically few, boundary) winners
+//! sequentially in ascending id order, re-deriving each move against the
+//! live partition so balance, the never-empty-a-part rule, and the
+//! never-worsen-the-cut guarantee hold exactly as they would for a
+//! sequential sweep.
+//!
+//! Determinism: the scan is a pure per-vertex function of the frozen
+//! snapshot collected in index order, and the apply phase is sequential,
+//! so a refinement run is a pure function of
+//! `(graph, partition, options)` (plus the region for the local variant)
+//! — bit-identical for any worker-pool size.
 
 use crate::csr::CsrGraph;
 use crate::partition::Partition;
+use rayon::prelude::*;
+
+/// Candidates per gain-scan chunk: vertices are cheap to score, so give
+/// each worker invocation a sizeable slice and let small regions run
+/// inline rather than paying thread-spawn overhead.
+const SCAN_CHUNK: usize = 2048;
 
 /// Knobs of a [`refine_kway`] run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,14 +79,17 @@ pub struct RefineStats {
     pub gain: u64,
 }
 
-/// Refines `partition` in place, greedily and k-way: each sweep visits
-/// every vertex in id order and applies the best strictly-improving,
-/// balance-respecting move to a part the vertex already touches. A move
-/// is never allowed to drain its source part to zero load, so no part
-/// ever ends a refinement empty.
+/// Refines `partition` in place, greedily and k-way: each sweep scans
+/// every vertex (in parallel, reduced in id order) and applies the best
+/// strictly-improving, balance-respecting move to a part the vertex
+/// already touches. A move is never allowed to empty its source part, so
+/// no part ever ends a refinement without nodes — but a zero-weight
+/// vertex in a populated part is free to move, since it cannot drain any
+/// load.
 ///
 /// Never increases the cut; per-part loads are tracked incrementally so a
-/// sweep costs `O(V + E)` regardless of how many moves it makes.
+/// sweep costs `O(V + E)` regardless of how many moves it makes, and the
+/// result is bit-identical for any worker-pool size.
 ///
 /// # Panics
 ///
@@ -81,9 +104,9 @@ pub fn refine_kway(
 
 /// Localized variant of [`refine_kway`]: sweeps only the vertices in
 /// `region` (deduplicated and visited in ascending id order regardless of
-/// the order given). Loads are still tracked globally, so balance and the
-/// never-empty-a-part rule hold for the whole partition — only the set of
-/// candidate moves shrinks.
+/// the order given). Loads and part populations are still tracked
+/// globally, so balance and the never-empty-a-part rule hold for the
+/// whole partition — only the set of candidate moves shrinks.
 ///
 /// This is the workhorse of the streaming subsystem: after a mutation
 /// batch, only the dirty frontier needs re-examination, which turns an
@@ -126,22 +149,73 @@ fn sweep_region(
     let max_load = (avg * (1.0 + opts.balance_slack)).ceil() as u64;
 
     let mut loads = vec![0u64; n_parts];
+    // Node counts per part back the only-forbid-emptying-the-part guard:
+    // tracking load alone would pin zero-weight vertices forever.
+    let mut counts = vec![0usize; n_parts];
     for v in 0..graph.num_nodes() as u32 {
         loads[partition.part(v) as usize] += graph.node_weight(v) as u64;
+        counts[partition.part(v) as usize] += 1;
     }
 
+    // The candidate list the gain scan chunks over; for a full sweep
+    // that is every vertex, materialized once for the whole run.
+    let all_nodes: Vec<u32>;
+    let candidates: &[u32] = match region {
+        Some(nodes) => nodes,
+        None => {
+            all_nodes = (0..graph.num_nodes() as u32).collect();
+            &all_nodes
+        }
+    };
+
     let mut stats = RefineStats { moves: 0, gain: 0 };
-    // Connectivity scratch, reused across vertices: (part, edge weight
-    // into that part). Boundary vertices touch very few parts, so a flat
-    // scan beats a per-part array of size k.
+    // Connectivity scratch for the apply phase: (part, edge weight into
+    // that part). Boundary vertices touch very few parts, so a flat scan
+    // beats a per-part array of size k.
     let mut conn: Vec<(u32, u64)> = Vec::with_capacity(8);
     for _ in 0..opts.max_passes {
+        // Phase 1 — parallel gain scan. Against the frozen labels, keep
+        // every candidate with a strictly cut-improving move (balance is
+        // left to the apply phase: loads shift as moves land, so only
+        // the live state can judge it). Chunked collection preserves
+        // index order, making the winner list thread-count-independent.
+        let winners: Vec<u32> = candidates
+            .par_chunks(SCAN_CHUNK)
+            .map(|chunk| {
+                let mut local: Vec<u32> = Vec::new();
+                let mut cw: Vec<(u32, u64)> = Vec::with_capacity(8);
+                for &v in chunk {
+                    let pv = partition.part(v);
+                    cw.clear();
+                    let mut internal = 0u64;
+                    for (&u, &w) in graph.neighbors(v).iter().zip(graph.edge_weights(v)) {
+                        let pu = partition.part(u);
+                        if pu == pv {
+                            internal += w as u64;
+                        } else {
+                            match cw.iter_mut().find(|(p, _)| *p == pu) {
+                                Some((_, c)) => *c += w as u64,
+                                None => cw.push((pu, w as u64)),
+                            }
+                        }
+                    }
+                    if cw.iter().any(|&(_, c)| c > internal) {
+                        local.push(v);
+                    }
+                }
+                local
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
+            .collect();
+
+        // Phase 2 — sequential apply in ascending id order. Each winner
+        // is re-derived against the live partition (earlier applies may
+        // have moved its neighbours), so every guarantee of the old
+        // fully-sequential sweep holds move by move.
         let mut moved_this_pass = false;
-        let candidates: &mut dyn Iterator<Item = u32> = match region {
-            Some(nodes) => &mut nodes.iter().copied(),
-            None => &mut (0..graph.num_nodes() as u32),
-        };
-        for v in candidates {
+        for v in winners {
             let pv = partition.part(v);
             conn.clear();
             let mut internal = 0u64;
@@ -156,15 +230,15 @@ fn sweep_region(
                     }
                 }
             }
-            // Best strictly-improving, balance-respecting move. The
-            // source part must keep a positive load after the move: on
-            // small or coarse graphs an unchecked source can drain to
-            // zero, and an empty part can never be repopulated by
-            // cut-improving moves.
-            let wv = graph.node_weight(v) as u64;
-            if loads[pv as usize] <= wv {
+            // A move may never empty its source part — an empty part can
+            // never be repopulated by cut-improving moves. Only the last
+            // remaining vertex is pinned: a zero-weight vertex in a
+            // populated part moves freely (it cannot drain any load).
+            if counts[pv as usize] <= 1 {
                 continue;
             }
+            let wv = graph.node_weight(v) as u64;
+            // Best strictly-improving, balance-respecting move.
             let mut best: Option<(u32, u64)> = None;
             for &(p, c) in &conn {
                 if c > internal
@@ -177,6 +251,8 @@ fn sweep_region(
             if let Some((p, c)) = best {
                 loads[pv as usize] -= wv;
                 loads[p as usize] += wv;
+                counts[pv as usize] -= 1;
+                counts[p as usize] += 1;
                 partition.set(v, p);
                 stats.moves += 1;
                 stats.gain += c - internal;
@@ -289,6 +365,61 @@ mod tests {
             "{:?}",
             p.part_sizes()
         );
+    }
+
+    #[test]
+    fn misplaced_zero_weight_vertex_gets_moved() {
+        // Regression: the old drain guard (`loads[pv] <= wv`) pinned
+        // every zero-weight vertex (`0 <= 0`), even though moving one can
+        // only improve the cut and can never drain load. Zero weights are
+        // unreachable through the builder, so construct the CSR directly,
+        // as the streaming layers could.
+        // Parts: {0, 1, 5} and {2, 3, 4}. The weightless vertex 5 has
+        // both its edges into part 1; every weighted vertex is already
+        // where it belongs, so the only improving move is 5 → part 1.
+        let mut g = from_edges(6, &[(0, 1), (2, 3), (3, 4), (2, 4), (5, 2), (5, 3)]).unwrap();
+        g.vweights = vec![2, 2, 2, 2, 2, 0];
+        let mut p = Partition::new(vec![0, 0, 1, 1, 1, 0], 2).unwrap();
+        let before = cut_size(&g, &p);
+        let stats = refine_kway(&g, &mut p, &opts(0.2, 4));
+        assert_eq!(p.part(5), 1, "zero-weight vertex stayed pinned");
+        assert!(stats.moves >= 1);
+        assert!(cut_size(&g, &p) < before);
+        // Loads are untouched by the zero-weight move; no part is empty.
+        assert!(p.part_sizes().iter().all(|&s| s > 0));
+
+        // The guard still pins the *last* vertex of a part, even a
+        // zero-weight one: emptying a part is never allowed.
+        let mut g = from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        g.vweights = vec![0, 1, 1];
+        let mut p = Partition::new(vec![0, 1, 1], 2).unwrap();
+        let stats = refine_kway(&g, &mut p, &opts(1.0, 4));
+        assert_eq!(stats.moves, 0, "sole occupant moved out of part 0");
+        assert!(p.part_sizes().iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        let g = paper_graph(611);
+        for seed in 0..2u64 {
+            let base = random_partition(611, 5, seed);
+            let mut reference: Option<(Partition, RefineStats)> = None;
+            for threads in [1usize, 2, 4, 8] {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .unwrap();
+                let mut p = base.clone();
+                let stats = pool.install(|| refine_kway(&g, &mut p, &opts(0.1, 6)));
+                match &reference {
+                    None => reference = Some((p, stats)),
+                    Some((rp, rs)) => {
+                        assert_eq!(&p, rp, "{threads}-thread refine diverged");
+                        assert_eq!(&stats, rs);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

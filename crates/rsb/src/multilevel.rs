@@ -10,6 +10,7 @@
 
 use crate::bisect::{rsb_partition, RsbOptions};
 use crate::RsbError;
+use gapart_graph::coarsen::MatchScheme;
 use gapart_graph::multilevel::{MultilevelConfig, MultilevelPartitioner};
 use gapart_graph::partitioner::{PartitionReport, Partitioner, PartitionerError};
 use gapart_graph::refine::RefineOptions;
@@ -50,6 +51,7 @@ impl MultilevelOptions {
     pub fn to_config(&self) -> MultilevelConfig {
         MultilevelConfig {
             coarsen_target: self.coarsen_target,
+            match_scheme: MatchScheme::default(),
             refine: RefineOptions {
                 balance_slack: self.balance_slack,
                 max_passes: self.refine_passes,

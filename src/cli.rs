@@ -119,6 +119,11 @@ impl Args {
 pub const USAGE: &str = "\
 gapart-cli — GA graph partitioning (Maini et al., SC'94)
 
+GLOBAL FLAGS (any subcommand):
+  --threads N   worker threads for the parallel phases (coarsening,
+                refinement, GA evaluation); 0 or absent = all cores.
+                Output is bit-identical for every thread count.
+
 USAGE:
   gapart-cli gen --kind mesh|grid|geometric|gnp --nodes N [--seed S]
              --out g.metis [--coords-out g.xy]
@@ -151,7 +156,25 @@ USAGE:
 ";
 
 /// Executes a parsed command, returning the text to print.
+///
+/// The global `--threads N` flag bounds the worker pool every parallel
+/// phase (coarsening, refinement, GA evaluation) runs under; `0` or
+/// absent means one worker per hardware core. Results are bit-identical
+/// for any thread count — the flag trades wall time, never output.
 pub fn run(args: &Args) -> Result<String, CliError> {
+    let threads: usize = args.flag_parse("threads", 0usize)?;
+    if threads == 0 {
+        return dispatch(args);
+    }
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .map_err(|e| CliError::Failed(format!("thread pool: {e}")))?;
+    pool.install(|| dispatch(args))
+}
+
+/// Subcommand dispatch, running inside the pool [`run`] installed.
+fn dispatch(args: &Args) -> Result<String, CliError> {
     let Some(cmd) = args.positional.first() else {
         return Err(CliError::Usage("no subcommand given".into()));
     };
@@ -692,6 +715,15 @@ mod tests {
         let out = run(&argv("help")).unwrap();
         assert!(out.contains("gapart-cli"));
         assert!(out.contains("partition"));
+    }
+
+    #[test]
+    fn threads_flag_is_validated_and_installs_a_pool() {
+        let err = run(&argv("help --threads nope")).unwrap_err();
+        assert!(err.to_string().contains("--threads"));
+        // A bounded pool wraps the whole dispatch.
+        let out = run(&argv("help --threads 2")).unwrap();
+        assert!(out.contains("--threads"), "usage must document the flag");
     }
 
     #[test]
