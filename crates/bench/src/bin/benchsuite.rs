@@ -2,26 +2,40 @@
 //! schema'd JSON document per PR.
 //!
 //! Runs large-grid / geometric / churn-stream scenarios across a sweep of
-//! forced worker-pool sizes, flat and multilevel methods side by side,
-//! and writes `BENCH_4.json` (see `--out`) with per-row wall time, cut
+//! forced worker-pool sizes, flat and multilevel methods side by side —
+//! including the boundary-FM vs greedy-sweep refinement comparison
+//! (`mlga` vs `mlga-sweep`, `stream+mlga` vs `stream+mlga-sweep`) — and
+//! writes `BENCH_5.json` (see `--out`) with per-row wall time, cut
 //! metrics, and an FNV-1a hash of the final labels — the witness that
 //! every thread count produced the bit-identical partition. The schema
 //! lives in `gapart_bench::json` and CI validates every emitted document
-//! against it (`--validate`), so the trajectory cannot silently rot.
+//! against it.
+//!
+//! The `*-anchor` scenarios run at identical sizes in both smoke and
+//! full mode, so a CI smoke run is directly comparable against the
+//! newest committed full-run `BENCH_*.json` — that comparison is the
+//! bench-regression gate (`--compare`), which fails when a matched row's
+//! cut worsens by more than 2% or its partition hash diverges at equal
+//! cut (see `gapart_bench::json::compare_trajectories`).
 //!
 //! Usage:
 //!   benchsuite [--smoke] [--out PATH] [--max-threads N]
 //!   benchsuite --validate PATH
+//!   benchsuite --validate-all DIR       # every BENCH_*.json in DIR
+//!   benchsuite --compare BASELINE CANDIDATE
 //!
-//! `--smoke` shrinks every scenario to seconds for CI; the committed
-//! trajectory file is produced by a full run.
+//! `--smoke` runs only the anchor scenarios (seconds, for CI); the
+//! committed trajectory file is produced by a full run, which includes
+//! the anchors plus the large scenarios.
 
 use gapart::core::dynamic::{BatchAction, DynamicConfig, DynamicSession};
 use gapart::core::GaConfig;
 use gapart::graph::dynamic::scenario::{generate, Scenario, TraceSpec};
 use gapart::graph::generators::{grid2d, random_geometric, GridKind};
+use gapart::graph::multilevel::MultilevelConfig;
 use gapart::graph::partition::PartitionMetrics;
 use gapart::graph::partitioner::Partitioner;
+use gapart::graph::refine::RefineScheme;
 use gapart::graph::CsrGraph;
 use gapart::partitioners;
 use gapart_bench::json::{self, hash_labels, TRAJECTORY_SCHEMA};
@@ -29,7 +43,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 /// The PR number this trajectory file records.
-const PR: u64 = 4;
+const PR: u64 = 5;
 const SEED: u64 = 0x5343_3934; // "SC94"
 const PARTS: u32 = 8;
 
@@ -56,9 +70,22 @@ fn pool(threads: usize) -> rayon::ThreadPool {
         .expect("shim pools are infallible")
 }
 
+/// The registry `mlga` with the greedy sweep instead of boundary FM —
+/// the refinement ablation the grid scenarios record.
+fn mlga_sweep() -> Box<dyn Partitioner> {
+    partitioners::multilevel_with(
+        "mlga-sweep",
+        partitioners::tuned_ga(GaConfig::coarse_defaults(2)),
+        MultilevelConfig {
+            refine_scheme: RefineScheme::Sweep,
+            ..MultilevelConfig::default()
+        },
+    )
+}
+
 /// One partitioner run under a forced pool: returns the row plus prints a
-/// progress line. Registry methods resolve by name; the trimmed flat GA
-/// passes its instance explicitly via `run_partitioner`.
+/// progress line. Registry methods resolve by name; ablations (trimmed
+/// flat GA, `mlga-sweep`) pass their instance via `run_partitioner`.
 fn run_method(
     scenario: &'static str,
     graph: &CsrGraph,
@@ -119,15 +146,27 @@ fn run_partitioner(
         escalations: None,
     };
     println!(
-        "  {scenario:>12} {method:>6} x{threads}: {wall_ms:9.1} ms, cut {}, hash {}",
+        "  {scenario:>16} {method:>10} x{threads}: {wall_ms:9.1} ms, cut {}, hash {}",
         row.total_cut, row.partition_hash
     );
     row
 }
 
-/// The churn-stream scenario: replay a mutation trace through a dynamic
-/// session (mlga escalation) under a forced pool.
-fn run_stream(graph: &CsrGraph, batches: usize, ops: usize, threads: usize) -> Row {
+/// A churn-stream scenario: replay a mutation trace through a dynamic
+/// session (mlga escalation) under a forced pool, with the chosen
+/// refinement engine on both the frontier and the escalation path.
+fn run_stream(
+    scenario: &'static str,
+    graph: &CsrGraph,
+    batches: usize,
+    ops: usize,
+    threads: usize,
+    scheme: RefineScheme,
+) -> Row {
+    let method = match scheme {
+        RefineScheme::BoundaryFm => "stream+mlga",
+        RefineScheme::Sweep => "stream+mlga-sweep",
+    };
     let trace = generate(
         graph,
         Scenario::RandomChurn,
@@ -141,11 +180,13 @@ fn run_stream(graph: &CsrGraph, batches: usize, ops: usize, threads: usize) -> R
     let start = Instant::now();
     let session = pool(threads)
         .install(|| {
-            let full = partitioners::by_name("mlga").expect("mlga is registered");
+            let full = partitioners::by_name_with("mlga", scheme).expect("mlga is registered");
             let mut s = DynamicSession::new(
                 graph.clone(),
                 full,
-                DynamicConfig::new(PARTS).with_seed(SEED),
+                DynamicConfig::new(PARTS)
+                    .with_seed(SEED)
+                    .with_refine_scheme(scheme),
             )?;
             s.replay(&trace)?;
             Ok::<_, gapart::core::dynamic::DynamicError>(s)
@@ -159,8 +200,8 @@ fn run_stream(graph: &CsrGraph, batches: usize, ops: usize, threads: usize) -> R
         .filter(|r| r.action == BatchAction::FullRepartition)
         .count();
     let row = Row {
-        scenario: "churn-stream",
-        method: "stream+mlga".into(),
+        scenario,
+        method: method.into(),
         mode: "stream",
         threads,
         nodes: session.graph().num_nodes(),
@@ -174,7 +215,7 @@ fn run_stream(graph: &CsrGraph, batches: usize, ops: usize, threads: usize) -> R
         escalations: Some(escalations),
     };
     println!(
-        "  churn-stream stream+mlga x{threads}: {wall_ms:9.1} ms, {batches} batches, \
+        "  {scenario:>16} {method:>10} x{threads}: {wall_ms:9.1} ms, {batches} batches, \
          {escalations} escalation(s), cut {}, hash {}",
         row.total_cut, row.partition_hash
     );
@@ -245,11 +286,20 @@ fn render(rows: &[Row], smoke: bool, speedup: Option<f64>) -> String {
     out
 }
 
+/// Parses and schema-validates one trajectory document.
+fn load_rows(path: &str) -> Vec<json::TrajectoryRow> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let doc = json::parse(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+    json::validate_trajectory(&doc).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
-    let mut out_path = "BENCH_4.json".to_string();
+    let mut out_path = "BENCH_5.json".to_string();
     let mut validate_path: Option<String> = None;
+    let mut validate_all_dir: Option<String> = None;
+    let mut compare: Option<(String, String)> = None;
     let mut max_threads = 8usize;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -258,6 +308,18 @@ fn main() {
             "--out" => out_path = it.next().expect("--out takes a path").clone(),
             "--validate" => {
                 validate_path = Some(it.next().expect("--validate takes a path").clone())
+            }
+            "--validate-all" => {
+                validate_all_dir =
+                    Some(it.next().expect("--validate-all takes a directory").clone())
+            }
+            "--compare" => {
+                let baseline = it.next().expect("--compare takes two paths").clone();
+                let candidate = it
+                    .next()
+                    .expect("--compare takes a baseline and a candidate path")
+                    .clone();
+                compare = Some((baseline, candidate));
             }
             "--max-threads" => {
                 max_threads = it
@@ -273,11 +335,67 @@ fn main() {
 
     // Validation mode: parse + schema-check an existing document.
     if let Some(path) = validate_path {
-        let text =
-            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-        let doc = json::parse(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
-        let rows = json::validate_trajectory(&doc).unwrap_or_else(|e| panic!("{path}: {e}"));
+        let rows = load_rows(&path);
         println!("{path}: valid trajectory, {} result row(s)", rows.len());
+        return;
+    }
+
+    // Validate every committed trajectory in a directory from one
+    // process, reporting each file so a failure names its culprit.
+    if let Some(dir) = validate_all_dir {
+        let mut paths: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap_or_else(|e| panic!("cannot read directory {dir}: {e}"))
+            .filter_map(|entry| {
+                let name = entry.expect("readable directory entry").file_name();
+                let name = name.to_string_lossy().into_owned();
+                (name.starts_with("BENCH_") && name.ends_with(".json"))
+                    .then(|| format!("{dir}/{name}"))
+            })
+            .collect();
+        paths.sort();
+        assert!(!paths.is_empty(), "no BENCH_*.json files under {dir}");
+        let mut failures = 0usize;
+        for path in &paths {
+            let text =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            match json::parse(&text).and_then(|doc| json::validate_trajectory(&doc)) {
+                Ok(rows) => println!("{path}: valid trajectory, {} result row(s)", rows.len()),
+                Err(e) => {
+                    println!("{path}: INVALID — {e}");
+                    failures += 1;
+                }
+            }
+        }
+        if failures > 0 {
+            eprintln!("{failures} of {} trajectory file(s) invalid", paths.len());
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // The bench-regression gate: candidate vs committed baseline.
+    if let Some((baseline_path, candidate_path)) = compare {
+        let baseline = load_rows(&baseline_path);
+        let candidate = load_rows(&candidate_path);
+        let report = json::compare_trajectories(&baseline, &candidate);
+        println!(
+            "compared {candidate_path} against {baseline_path}: {} matched row(s)",
+            report.matched
+        );
+        for note in &report.notes {
+            println!("  note: {note}");
+        }
+        for failure in &report.failures {
+            println!("  FAIL: {failure}");
+        }
+        if !report.passed() {
+            eprintln!(
+                "bench-regression gate failed ({} failure(s))",
+                report.failures.len()
+            );
+            std::process::exit(1);
+        }
+        println!("bench-regression gate passed");
         return;
     }
 
@@ -285,77 +403,168 @@ fn main() {
         |ts: &[usize]| -> Vec<usize> { ts.iter().copied().filter(|&t| t <= max_threads).collect() };
     let mut rows: Vec<Row> = Vec::new();
 
-    // Scenario 1 — large grid, the headline case: the multilevel GA
-    // across the full pool sweep, with flat IBP (the grid carries
-    // coordinates) and multilevel RSB as flat/multilevel anchors.
-    let (side, ml_threads, flat_threads) = if smoke {
-        (24usize, cap(&[1, 2]), cap(&[1, 2]))
-    } else {
-        (320, cap(&[1, 2, 4, 8]), cap(&[1, 4]))
-    };
-    let grid = grid2d(side, side, GridKind::FourConnected);
+    // ---- Anchor scenarios: identical sizes in smoke and full mode, so
+    // a CI smoke document has rows directly comparable (same identity
+    // keys) against the newest committed full-run trajectory.
+    let anchor = grid2d(24, 24, GridKind::FourConnected);
     println!(
-        "grid {side}x{side}: {} nodes, {} edges",
-        grid.num_nodes(),
-        grid.num_edges()
+        "grid-anchor 24x24: {} nodes, {} edges",
+        anchor.num_nodes(),
+        anchor.num_edges()
     );
-    for &t in &ml_threads {
-        rows.push(run_method("grid", &grid, "mlga", "multilevel", t));
+    for &t in &cap(&[1, 2]) {
+        rows.push(run_method("grid-anchor", &anchor, "mlga", "multilevel", t));
     }
-    for &t in &flat_threads {
-        rows.push(run_method("grid", &grid, "ibp", "flat", t));
-    }
-    for &t in &flat_threads {
-        rows.push(run_method("grid", &grid, "mlrsb", "multilevel", t));
-    }
+    rows.push(run_partitioner(
+        "grid-anchor",
+        &anchor,
+        &*mlga_sweep(),
+        "multilevel",
+        1,
+    ));
+    rows.push(run_method("grid-anchor", &anchor, "ibp", "flat", 1));
+    rows.push(run_method("grid-anchor", &anchor, "mlrsb", "multilevel", 1));
 
-    // Scenario 2 — flat GA vs multilevel GA head-to-head, at a size
-    // where the flat GA's O(pop × gens × E) budget stays affordable.
-    // The trimmed budget is recorded here, not hidden: pop 48, 15 gens.
-    let flat_side = if smoke { 16 } else { 64 };
-    let small = grid2d(flat_side, flat_side, GridKind::FourConnected);
-    println!(
-        "grid-ga {flat_side}x{flat_side}: {} nodes, {} edges",
-        small.num_nodes(),
-        small.num_edges()
-    );
     let ga_lite = partitioners::tuned_ga(
         GaConfig::paper_defaults(PARTS)
             .with_population_size(48)
             .with_generations(15),
     );
-    for &t in &flat_threads {
-        rows.push(run_partitioner("grid-ga", &small, &*ga_lite, "flat", t));
-    }
-    for &t in &flat_threads {
-        rows.push(run_method("grid-ga", &small, "mlga", "multilevel", t));
-    }
-
-    // Scenario 2 — random geometric graph: coordinates make the inertial
-    // method applicable, so flat IBP vs multilevel GA.
-    let n_geo = if smoke { 400 } else { 40_000 };
-    let geo = random_geometric(n_geo, 1.5 / (n_geo as f64).sqrt(), SEED);
+    let small_anchor = grid2d(16, 16, GridKind::FourConnected);
     println!(
-        "geometric {n_geo}: {} nodes, {} edges",
-        geo.num_nodes(),
-        geo.num_edges()
+        "grid-ga-anchor 16x16: {} nodes, {} edges",
+        small_anchor.num_nodes(),
+        small_anchor.num_edges()
     );
-    for &t in &flat_threads {
-        rows.push(run_method("geometric", &geo, "mlga", "multilevel", t));
-    }
-    for &t in &flat_threads {
-        rows.push(run_method("geometric", &geo, "ibp", "flat", t));
+    rows.push(run_partitioner(
+        "grid-ga-anchor",
+        &small_anchor,
+        &*ga_lite,
+        "flat",
+        1,
+    ));
+    rows.push(run_method(
+        "grid-ga-anchor",
+        &small_anchor,
+        "mlga",
+        "multilevel",
+        1,
+    ));
+
+    let geo_anchor = random_geometric(400, 1.5 / (400f64).sqrt(), SEED);
+    println!(
+        "geometric-anchor 400: {} nodes, {} edges",
+        geo_anchor.num_nodes(),
+        geo_anchor.num_edges()
+    );
+    rows.push(run_method(
+        "geometric-anchor",
+        &geo_anchor,
+        "mlga",
+        "multilevel",
+        1,
+    ));
+    rows.push(run_method(
+        "geometric-anchor",
+        &geo_anchor,
+        "ibp",
+        "flat",
+        1,
+    ));
+
+    let churn_anchor = grid2d(12, 12, GridKind::FourConnected);
+    for scheme in [RefineScheme::BoundaryFm, RefineScheme::Sweep] {
+        rows.push(run_stream("churn-anchor", &churn_anchor, 4, 20, 1, scheme));
     }
 
-    // Scenario 3 — churn stream: localized refinement on the dirty
-    // frontier, escalating to full mlga solves.
-    let (stream_side, batches, ops) = if smoke { (12, 4, 20) } else { (100, 15, 150) };
-    let sgrid = grid2d(stream_side, stream_side, GridKind::FourConnected);
-    for &t in &flat_threads {
-        rows.push(run_stream(&sgrid, batches, ops, t));
+    // ---- Full-size scenarios (skipped in smoke mode).
+    if !smoke {
+        // Scenario 1 — large grid, the headline case: multilevel GA
+        // across the full pool sweep, the sweep-refiner ablation, and
+        // flat IBP / multilevel RSB as anchors.
+        let grid = grid2d(320, 320, GridKind::FourConnected);
+        println!(
+            "grid 320x320: {} nodes, {} edges",
+            grid.num_nodes(),
+            grid.num_edges()
+        );
+        for &t in &cap(&[1, 2, 4, 8]) {
+            rows.push(run_method("grid", &grid, "mlga", "multilevel", t));
+        }
+        for &t in &cap(&[1, 4]) {
+            rows.push(run_partitioner(
+                "grid",
+                &grid,
+                &*mlga_sweep(),
+                "multilevel",
+                t,
+            ));
+        }
+        for &t in &cap(&[1, 4]) {
+            rows.push(run_method("grid", &grid, "ibp", "flat", t));
+        }
+        for &t in &cap(&[1, 4]) {
+            rows.push(run_method("grid", &grid, "mlrsb", "multilevel", t));
+        }
+
+        // Scenario 2 — flat GA vs multilevel GA head-to-head, at a size
+        // where the flat GA's O(pop × gens × E) budget stays affordable.
+        // The trimmed budget is recorded here, not hidden: pop 48, 15
+        // gens.
+        let small = grid2d(64, 64, GridKind::FourConnected);
+        println!(
+            "grid-ga 64x64: {} nodes, {} edges",
+            small.num_nodes(),
+            small.num_edges()
+        );
+        for &t in &cap(&[1, 4]) {
+            rows.push(run_partitioner("grid-ga", &small, &*ga_lite, "flat", t));
+        }
+        for &t in &cap(&[1, 4]) {
+            rows.push(run_method("grid-ga", &small, "mlga", "multilevel", t));
+        }
+
+        // Scenario 3 — random geometric graph: coordinates make the
+        // inertial method applicable, so flat IBP vs multilevel GA.
+        let n_geo = 40_000;
+        let geo = random_geometric(n_geo, 1.5 / (n_geo as f64).sqrt(), SEED);
+        println!(
+            "geometric {n_geo}: {} nodes, {} edges",
+            geo.num_nodes(),
+            geo.num_edges()
+        );
+        for &t in &cap(&[1, 4]) {
+            rows.push(run_method("geometric", &geo, "mlga", "multilevel", t));
+        }
+        for &t in &cap(&[1, 4]) {
+            rows.push(run_method("geometric", &geo, "ibp", "flat", t));
+        }
+
+        // Scenario 4 — churn stream: localized refinement on the dirty
+        // frontier (FM buckets vs sweep), escalating to full mlga
+        // solves.
+        let sgrid = grid2d(100, 100, GridKind::FourConnected);
+        for &t in &cap(&[1, 4]) {
+            rows.push(run_stream(
+                "churn-stream",
+                &sgrid,
+                15,
+                150,
+                t,
+                RefineScheme::BoundaryFm,
+            ));
+        }
+        rows.push(run_stream(
+            "churn-stream",
+            &sgrid,
+            15,
+            150,
+            1,
+            RefineScheme::Sweep,
+        ));
     }
 
-    // Headline number: mlga on the grid, 1 thread vs 4.
+    // Headline number: mlga on the large grid, 1 thread vs 4.
     let grid_wall = |t: usize| {
         rows.iter()
             .find(|r| r.scenario == "grid" && r.method == "mlga" && r.threads == t)

@@ -294,12 +294,37 @@ pub struct TrajectoryRow {
     pub mode: String,
     /// Forced worker-pool size for this row.
     pub threads: u64,
+    /// Part count of the run.
+    pub parts: u64,
+    /// Seed of the run.
+    pub seed: u64,
+    /// Node count of the scenario graph.
+    pub nodes: u64,
+    /// Edge count of the scenario graph.
+    pub edges: u64,
     /// Wall-clock milliseconds.
     pub wall_ms: f64,
     /// Final total cut weight.
     pub total_cut: u64,
     /// FNV-1a hash of the final labels, hex — the determinism witness.
     pub partition_hash: String,
+}
+
+impl TrajectoryRow {
+    /// The identity a row is matched on across documents: everything
+    /// that pins the run except its outputs (`wall_ms`, cut, hash).
+    pub fn key(&self) -> (String, String, String, u64, u64, u64, u64, u64) {
+        (
+            self.scenario.clone(),
+            self.method.clone(),
+            self.mode.clone(),
+            self.threads,
+            self.parts,
+            self.seed,
+            self.nodes,
+            self.edges,
+        )
+    }
 }
 
 /// Validates a trajectory document against the `BENCH_*.json` schema and
@@ -376,8 +401,8 @@ pub fn validate_trajectory(doc: &Json) -> Result<Vec<TrajectoryRow>, String> {
             return Err(format!("results[{i}]: 'parts' must be positive"));
         }
         let seed = uint_field("seed")?;
-        uint_field("nodes")?;
-        uint_field("edges")?;
+        let nodes = uint_field("nodes")?;
+        let edges = uint_field("edges")?;
         let wall_ms = field("wall_ms")?
             .as_f64()
             .filter(|&x| x >= 0.0)
@@ -414,12 +439,140 @@ pub fn validate_trajectory(doc: &Json) -> Result<Vec<TrajectoryRow>, String> {
             method,
             mode,
             threads,
+            parts,
+            seed,
+            nodes,
+            edges,
             wall_ms,
             total_cut,
             partition_hash,
         });
     }
     Ok(rows)
+}
+
+/// Relative cut regression tolerated by [`compare_trajectories`]: a
+/// candidate row may be at most 2% worse than its baseline before the
+/// gate fails.
+pub const CUT_TOLERANCE: f64 = 0.02;
+
+/// Outcome of the bench-regression gate (`benchsuite --compare`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CompareReport {
+    /// Rows present in both documents under the same
+    /// [`TrajectoryRow::key`].
+    pub matched: usize,
+    /// Gate-failing regressions, one message per offending row.
+    pub failures: Vec<String>,
+    /// Non-failing observations (e.g. improved cuts with new hashes).
+    pub notes: Vec<String>,
+}
+
+impl CompareReport {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The bench-regression gate: compares `candidate` rows against
+/// `baseline` rows with the same identity key (scenario, method, mode,
+/// threads, parts, seed, nodes, edges — everything but the outputs).
+///
+/// A matched row **fails** the gate when
+///
+/// * its cut worsened by more than [`CUT_TOLERANCE`] (the quality
+///   regression case), or
+/// * its cut is unchanged but its `partition_hash` differs — the run
+///   silently produced a different partition of equal cut, which on a
+///   deterministic pipeline means behaviour changed without the baseline
+///   being refreshed.
+///
+/// A cut *improvement* (hash necessarily changes) is reported as a note,
+/// not a failure: the PR that improves quality is expected to commit a
+/// regenerated baseline, which re-pins the hashes. Zero matched rows is
+/// itself a failure — a gate that compares nothing must not pass. Rows
+/// only one side has (new scenarios, removed scenarios) are noted.
+///
+/// Wall times are never compared: they measure the host, not the code.
+pub fn compare_trajectories(
+    baseline: &[TrajectoryRow],
+    candidate: &[TrajectoryRow],
+) -> CompareReport {
+    let mut report = CompareReport::default();
+    let by_key: BTreeMap<_, &TrajectoryRow> = baseline.iter().map(|r| (r.key(), r)).collect();
+    let mut unmatched = 0usize;
+    let mut candidate_keys = std::collections::BTreeSet::new();
+    for cand in candidate {
+        candidate_keys.insert(cand.key());
+        let Some(base) = by_key.get(&cand.key()) else {
+            unmatched += 1;
+            continue;
+        };
+        report.matched += 1;
+        let label = format!(
+            "{}/{}/{} x{}",
+            cand.scenario, cand.method, cand.mode, cand.threads
+        );
+        let allowed = base.total_cut as f64 * (1.0 + CUT_TOLERANCE);
+        if cand.total_cut as f64 > allowed {
+            let pct = if base.total_cut == 0 {
+                f64::INFINITY
+            } else {
+                (cand.total_cut as f64 / base.total_cut as f64 - 1.0) * 100.0
+            };
+            report.failures.push(format!(
+                "{label}: cut worsened {} -> {} (+{pct:.2}%, tolerance {:.0}%)",
+                base.total_cut,
+                cand.total_cut,
+                CUT_TOLERANCE * 100.0
+            ));
+        } else if cand.total_cut == base.total_cut && cand.partition_hash != base.partition_hash {
+            report.failures.push(format!(
+                "{label}: partition hash diverged at equal cut {} ({} -> {}); \
+                 behaviour changed — regenerate the committed baseline if intended",
+                cand.total_cut, base.partition_hash, cand.partition_hash
+            ));
+        } else if cand.partition_hash != base.partition_hash {
+            // Within tolerance but changed: say which way it moved — a
+            // sub-tolerance regression must not read as progress.
+            let direction = if cand.total_cut < base.total_cut {
+                "cut improved"
+            } else {
+                "cut worsened within tolerance"
+            };
+            report.notes.push(format!(
+                "{label}: {direction} {} -> {} (hash {} -> {})",
+                base.total_cut, cand.total_cut, base.partition_hash, cand.partition_hash
+            ));
+        }
+    }
+    if unmatched > 0 {
+        report.notes.push(format!(
+            "{unmatched} candidate row(s) have no baseline counterpart (new or resized scenarios)"
+        ));
+    }
+    // The reverse direction matters too: an anchor silently vanishing
+    // from the candidate must leave a trace (expected and benign when a
+    // smoke candidate is compared against a full baseline, whose large
+    // scenarios the smoke run never executes).
+    let baseline_only = by_key
+        .keys()
+        .filter(|k| !candidate_keys.contains(*k))
+        .count();
+    if baseline_only > 0 {
+        report.notes.push(format!(
+            "{baseline_only} baseline row(s) have no candidate counterpart \
+             (full-only scenarios, or rows the candidate no longer runs)"
+        ));
+    }
+    if report.matched == 0 {
+        report.failures.push(
+            "no comparable rows between baseline and candidate — the gate compared nothing"
+                .to_string(),
+        );
+    }
+    report
 }
 
 /// FNV-1a over the label array — the determinism witness recorded as
@@ -543,6 +696,77 @@ mod tests {
         assert!(validate_trajectory(&parse(&bad_hash).unwrap()).is_err());
         let bad_mode = doc(&[row(1, "00deadbeef00cafe", 1)]).replace("multilevel", "turbo");
         assert!(validate_trajectory(&parse(&bad_mode).unwrap()).is_err());
+    }
+
+    fn rows_of(text: &str) -> Vec<TrajectoryRow> {
+        validate_trajectory(&parse(text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn compare_passes_identical_documents_and_captures_row_identity() {
+        let text = doc(&[
+            row(1, "00deadbeef00cafe", 42),
+            row(4, "00deadbeef00cafe", 42),
+        ]);
+        let rows = rows_of(&text);
+        assert_eq!((rows[0].parts, rows[0].seed), (8, 1));
+        assert_eq!((rows[0].nodes, rows[0].edges), (100, 180));
+        let report = compare_trajectories(&rows, &rows);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert_eq!(report.matched, 2);
+        assert!(report.notes.is_empty());
+    }
+
+    #[test]
+    fn compare_fails_on_cut_regression_beyond_tolerance() {
+        let base = rows_of(&doc(&[row(1, "00deadbeef00cafe", 100)]));
+        // 102 is exactly +2%: allowed. 103 is past the tolerance: fail.
+        let at_limit = rows_of(&doc(&[row(1, "00deadbeef00beef", 102)]));
+        assert!(compare_trajectories(&base, &at_limit).passed());
+        let over = rows_of(&doc(&[row(1, "00deadbeef00beef", 103)]));
+        let report = compare_trajectories(&base, &over);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("cut worsened"), "{report:?}");
+    }
+
+    #[test]
+    fn compare_fails_on_hash_divergence_at_equal_cut() {
+        let base = rows_of(&doc(&[row(1, "00deadbeef00cafe", 42)]));
+        let relabeled = rows_of(&doc(&[row(1, "00deadbeef00beef", 42)]));
+        let report = compare_trajectories(&base, &relabeled);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("hash diverged"), "{report:?}");
+    }
+
+    #[test]
+    fn compare_notes_improvements_and_fails_on_zero_overlap() {
+        let base = rows_of(&doc(&[row(1, "00deadbeef00cafe", 42)]));
+        let improved = rows_of(&doc(&[row(1, "00deadbeef00beef", 30)]));
+        let report = compare_trajectories(&base, &improved);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert!(report.notes[0].contains("improved"), "{report:?}");
+
+        // Disjoint scenario sets must not silently pass, and both
+        // directions of the mismatch leave a trace in the notes.
+        let other = rows_of(&doc(&[row(1, "00deadbeef00cafe", 42)]).replace("grid", "mesh"));
+        let report = compare_trajectories(&base, &other);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("no comparable rows"));
+        assert_eq!(report.matched, 0);
+        assert!(
+            report
+                .notes
+                .iter()
+                .any(|n| n.contains("no baseline counterpart")),
+            "{report:?}"
+        );
+        assert!(
+            report
+                .notes
+                .iter()
+                .any(|n| n.contains("no candidate counterpart")),
+            "{report:?}"
+        );
     }
 
     #[test]

@@ -27,8 +27,24 @@
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Global default thread count; 0 = use `std::thread::available_parallelism`.
+/// Global default thread count; 0 = fall through to `RAYON_NUM_THREADS`
+/// and then `std::thread::available_parallelism`.
 static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Cached `RAYON_NUM_THREADS` (honoured like real rayon for the ambient
+/// default; 0 = unset/unparsable = auto). Read once — the CI
+/// determinism matrix relies on it to vary the ambient pool per leg.
+static ENV_THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+
+fn env_threads() -> usize {
+    *ENV_THREADS
+        .get_or_init(|| parse_env_threads(std::env::var("RAYON_NUM_THREADS").ok().as_deref()))
+}
+
+/// Pure parser behind [`env_threads`]: unset or non-numeric means auto.
+fn parse_env_threads(value: Option<&str>) -> usize {
+    value.and_then(|s| s.trim().parse().ok()).unwrap_or(0)
+}
 
 thread_local! {
     /// Per-thread override installed by [`ThreadPool::install`]; 0 = none.
@@ -44,6 +60,10 @@ pub fn current_num_threads() -> usize {
         return n;
     }
     let n = DEFAULT_THREADS.load(Ordering::Relaxed);
+    if n > 0 {
+        return n;
+    }
+    let n = env_threads();
     if n > 0 {
         return n;
     }
@@ -478,6 +498,20 @@ pub mod prelude {
 mod tests {
     use super::prelude::*;
     use super::*;
+
+    #[test]
+    fn env_threads_parser_handles_unset_garbage_and_numbers() {
+        // The cached reader can't be exercised repeatably in-process
+        // (OnceLock + process env), so the pure parser is pinned
+        // instead; the CI determinism matrix exercises the wiring.
+        assert_eq!(parse_env_threads(None), 0);
+        assert_eq!(parse_env_threads(Some("")), 0);
+        assert_eq!(parse_env_threads(Some("banana")), 0);
+        assert_eq!(parse_env_threads(Some("-3")), 0);
+        assert_eq!(parse_env_threads(Some("0")), 0);
+        assert_eq!(parse_env_threads(Some("4")), 4);
+        assert_eq!(parse_env_threads(Some(" 8 ")), 8);
+    }
 
     #[test]
     fn map_collect_preserves_order() {

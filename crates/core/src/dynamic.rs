@@ -14,8 +14,11 @@
 //!    ([`crate::incremental::greedy_neighbor_assign`]); the candidate
 //!    with the lower composite cost (`Σ I(q) + λ Σ C(q)`, the paper's
 //!    Fitness-1 objective) wins, ties toward the balanced policy.
-//! 2. **Localized refine** —
-//!    [`gapart_graph::refine::refine_kway_local`] sweeps only the dirty
+//! 2. **Localized refine** — the configured
+//!    [`gapart_graph::refine::RefineScheme`] (boundary FM by default,
+//!    reusing the session's gain-bucket workspace so only the dirty
+//!    frontier's buckets are rebuilt; or the frozen-gain sweep
+//!    [`gapart_graph::refine::refine_kway_local`]) touches only the
 //!    frontier (the mutated nodes plus a configurable BFS halo). The
 //!    cut is maintained incrementally (batch edge deltas plus the
 //!    refiner's exact gain), so outside escalations a batch costs the
@@ -34,8 +37,9 @@
 use crate::error::GaError;
 use crate::incremental::{extend_partition_balanced, greedy_neighbor_assign};
 use gapart_graph::dynamic::{apply_batch, Mutation};
+use gapart_graph::fm::FmRefiner;
 use gapart_graph::partition::cut_size;
-use gapart_graph::refine::{refine_kway_local, RefineOptions, RefineStats};
+use gapart_graph::refine::{refine_kway_local, RefineOptions, RefineScheme, RefineStats};
 use gapart_graph::{CsrGraph, GraphError, Partition, Partitioner, PartitionerError};
 
 /// Errors surfaced by a [`DynamicSession`].
@@ -78,6 +82,10 @@ pub struct DynamicConfig {
     pub seed: u64,
     /// Options for the localized refinement pass.
     pub refine: RefineOptions,
+    /// Refinement engine for the dirty-frontier pass: the boundary FM
+    /// refiner (default; its gain buckets and degree caches live in the
+    /// session and are reused across batches) or the frozen-gain sweep.
+    pub refine_scheme: RefineScheme,
     /// BFS halo around the dirty nodes that the localized refinement may
     /// move (hops; 2 by default). Larger values trade batch latency for
     /// cut quality.
@@ -98,6 +106,7 @@ impl Default for DynamicConfig {
             num_parts: 2,
             seed: 0x5354_5245, // "STRE"
             refine: RefineOptions::default(),
+            refine_scheme: RefineScheme::default(),
             frontier_hops: 2,
             escalate_ratio: 1.5,
             lambda: 1.0,
@@ -129,6 +138,12 @@ impl DynamicConfig {
     /// Sets the refinement frontier size in BFS hops.
     pub fn with_frontier_hops(mut self, hops: usize) -> Self {
         self.frontier_hops = hops;
+        self
+    }
+
+    /// Sets the dirty-frontier refinement engine.
+    pub fn with_refine_scheme(mut self, scheme: RefineScheme) -> Self {
+        self.refine_scheme = scheme;
         self
     }
 }
@@ -187,6 +202,10 @@ pub struct DynamicSession {
     epoch: usize,
     batches: usize,
     history: Vec<BatchRecord>,
+    /// Reusable boundary-FM workspace (gain buckets, degree caches):
+    /// batch refinement under [`RefineScheme::BoundaryFm`] touches only
+    /// the dirty frontier's buckets and allocates nothing steady-state.
+    fm: FmRefiner,
 }
 
 impl std::fmt::Debug for DynamicSession {
@@ -227,6 +246,7 @@ impl DynamicSession {
             epoch: 1,
             batches: 0,
             history: Vec::new(),
+            fm: FmRefiner::new(),
         })
     }
 
@@ -267,6 +287,7 @@ impl DynamicSession {
             epoch: 0,
             batches: 0,
             history: Vec::new(),
+            fm: FmRefiner::new(),
         })
     }
 
@@ -395,9 +416,19 @@ impl DynamicSession {
 
         // 2. Localized refinement on the dirty frontier. The refiner's
         //    reported gain is the exact cut delta (unit-tested), so the
-        //    cut stays maintained without an edge-set pass.
+        //    cut stays maintained without an edge-set pass. Boundary FM
+        //    rebuilds only the frontier's buckets inside the session's
+        //    persistent workspace.
         let frontier = dirty.frontier(&graph, self.config.frontier_hops);
-        let refine = refine_kway_local(&graph, &mut partition, &self.config.refine, &frontier);
+        let refine = match self.config.refine_scheme {
+            RefineScheme::BoundaryFm => {
+                self.fm
+                    .refine_local(&graph, &mut partition, &self.config.refine, seed, &frontier)
+            }
+            RefineScheme::Sweep => {
+                refine_kway_local(&graph, &mut partition, &self.config.refine, &frontier)
+            }
+        };
         let mut cut_after = cut_seeded - refine.gain;
         debug_assert_eq!(cut_after, cut_size(&graph, &partition));
 

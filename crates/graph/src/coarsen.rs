@@ -81,11 +81,86 @@ impl Coarsening {
             .collect();
         Partition::new(labels, coarse_partition.num_parts()).expect("projected labels are in range")
     }
+
+    /// [`Coarsening::project`] fused with everything the hinted
+    /// boundary-FM refiner ([`crate::fm::FmRefiner::refine_primed`])
+    /// needs, collected in the same single pass over the fine vertices:
+    /// per-part loads and populations of the projected partition, and
+    /// the *boundary hint* — every fine vertex whose coarse node is
+    /// flagged in `coarse_boundary`. Since a cut fine edge always maps
+    /// to a cut coarse edge, flagging the coarse boundary makes the
+    /// hint a superset of the fine boundary, which is exactly the
+    /// contract the hinted refiner requires.
+    ///
+    /// Equivalent to `project` + a load tally + a boundary filter, at a
+    /// third of the memory passes — the uncoarsening hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition does not match the coarse graph, if
+    /// `fine` is not this level's fine graph, or if `coarse_boundary`
+    /// is not sized to the coarse graph.
+    pub fn project_for_fm(
+        &self,
+        coarse_partition: &Partition,
+        fine: &CsrGraph,
+        coarse_boundary: &[bool],
+    ) -> ProjectedLevel {
+        assert_eq!(
+            coarse_partition.num_nodes(),
+            self.coarse.num_nodes(),
+            "partition does not match coarse graph"
+        );
+        assert_eq!(self.map.len(), fine.num_nodes(), "fine graph mismatch");
+        assert_eq!(
+            coarse_boundary.len(),
+            self.coarse.num_nodes(),
+            "boundary mask mismatch"
+        );
+        let n_parts = coarse_partition.num_parts() as usize;
+        let mut labels = Vec::with_capacity(self.map.len());
+        let mut hint = Vec::new();
+        let mut loads = vec![0u64; n_parts];
+        let mut counts = vec![0usize; n_parts];
+        for (v, &cv) in self.map.iter().enumerate() {
+            let l = coarse_partition.part(cv);
+            labels.push(l);
+            loads[l as usize] += fine.node_weight(v as u32) as u64;
+            counts[l as usize] += 1;
+            if coarse_boundary[cv as usize] {
+                hint.push(v as u32);
+            }
+        }
+        let partition = Partition::new(labels, coarse_partition.num_parts())
+            .expect("projected labels are in range");
+        ProjectedLevel {
+            partition,
+            hint,
+            loads,
+            counts,
+        }
+    }
 }
 
-/// SplitMix64 — the mixing function behind the seeded edge priorities.
+/// Output of [`Coarsening::project_for_fm`]: the projected partition
+/// plus the refinement state the boundary-FM fast path consumes.
+pub struct ProjectedLevel {
+    /// The lifted fine partition.
+    pub partition: Partition,
+    /// Fine vertices whose coarse node was on the cut boundary — a
+    /// superset of the fine boundary.
+    pub hint: Vec<u32>,
+    /// Per-part loads of `partition` (identical to the coarse loads:
+    /// contraction preserves them exactly).
+    pub loads: Vec<u64>,
+    /// Per-part node populations of `partition`.
+    pub counts: Vec<usize>,
+}
+
+/// SplitMix64 — the mixing function behind the seeded edge priorities
+/// (also used by [`crate::fm`] for its seeded tie-breaking keys).
 #[inline]
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -464,6 +539,50 @@ mod tests {
             let c = coarsen_hem_with(&g, 1, scheme);
             assert!(c.coarse.num_nodes() <= 12, "got {}", c.coarse.num_nodes());
             assert!(c.coarse.num_nodes() >= 8);
+        }
+    }
+
+    #[test]
+    fn project_for_fm_matches_the_separate_passes() {
+        use crate::partition::boundary_nodes;
+        let g = paper_graph(213);
+        let c = coarsen_hem(&g, 7);
+        for seed in 0..3u64 {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let coarse_p = Partition::new(
+                (0..c.coarse.num_nodes())
+                    .map(|_| rng.gen_range(0..4))
+                    .collect(),
+                4,
+            )
+            .unwrap();
+            let mut mask = vec![false; c.coarse.num_nodes()];
+            for v in boundary_nodes(&c.coarse, &coarse_p) {
+                mask[v as usize] = true;
+            }
+            let fused = c.project_for_fm(&coarse_p, &g, &mask);
+            // Partition: identical to the plain projection.
+            let plain = c.project(&coarse_p);
+            assert_eq!(fused.partition, plain);
+            // Loads/counts: the exact tally of the projected partition.
+            let m = PartitionMetrics::compute(&g, &plain);
+            assert_eq!(fused.loads, m.part_loads);
+            let mut counts = vec![0usize; 4];
+            for &l in plain.labels() {
+                counts[l as usize] += 1;
+            }
+            assert_eq!(fused.counts, counts);
+            // Hint: exactly the preimage of the flagged coarse nodes,
+            // and a superset of the true fine boundary.
+            let expect: Vec<u32> = (0..g.num_nodes() as u32)
+                .filter(|&v| mask[c.map[v as usize] as usize])
+                .collect();
+            assert_eq!(fused.hint, expect);
+            for v in boundary_nodes(&g, &plain) {
+                assert!(fused.hint.contains(&v), "hint missed boundary node {v}");
+            }
         }
     }
 

@@ -25,8 +25,11 @@
 //! * [`multilevel`] — the generic multilevel V-cycle:
 //!   [`multilevel::MultilevelPartitioner`] wraps *any* [`Partitioner`]
 //!   with coarsen → partition → project + refine.
-//! * [`refine`] — the shared k-way greedy boundary refinement the
-//!   V-cycle runs after each projection.
+//! * [`refine`] — the shared k-way greedy sweep refinement plus the
+//!   [`refine::RefineScheme`] dispatch the V-cycle runs after each
+//!   projection.
+//! * [`fm`] — the boundary-driven k-way Fiduccia–Mattheyses refiner
+//!   (gain buckets, hill-climbing rollback), the default scheme.
 //! * [`io`] — METIS-compatible text format with a coordinate extension.
 //!
 //! The representation is deliberately minimal and cache-friendly: node ids
@@ -41,6 +44,7 @@ pub mod coarsen;
 pub mod csr;
 pub mod dynamic;
 pub mod error;
+pub mod fm;
 pub mod generators;
 pub mod geometry;
 pub mod incremental;

@@ -18,8 +18,9 @@
 //! 2. **Partition** the coarsest graph with the wrapped algorithm — GA,
 //!    DPGA, RSB, IBP, or anything else implementing the trait.
 //! 3. **Uncoarsen**: project the partition level by level back to the fine
-//!    graph ([`crate::coarsen::Coarsening::project`]), running the shared
-//!    k-way greedy refinement ([`crate::refine::refine_kway`]) after every
+//!    graph ([`crate::coarsen::Coarsening::project`]), running the
+//!    configured k-way refinement ([`crate::refine::RefineScheme`] — the
+//!    boundary FM engine by default, or the greedy sweep) after every
 //!    projection (and once on the coarsest graph before the first one).
 //!
 //! Because contraction sums node and edge weights, a coarse partition has
@@ -38,8 +39,9 @@
 
 use crate::coarsen::{coarsen_to_with, MatchScheme};
 use crate::csr::CsrGraph;
+use crate::fm::FmRefiner;
 use crate::partitioner::{PartitionReport, Partitioner, PartitionerError};
-use crate::refine::{refine_kway, RefineOptions};
+use crate::refine::{refine_kway, RefineOptions, RefineScheme};
 
 /// Knobs of the V-cycle itself (the inner algorithm keeps its own).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,8 +54,11 @@ pub struct MultilevelConfig {
     /// parallel handshake (default) or the preserved sequential HEM
     /// reference (see [`MatchScheme`]).
     pub match_scheme: MatchScheme,
-    /// Per-level refinement options (balance slack and sweep budget).
+    /// Per-level refinement options (balance slack and pass budget).
     pub refine: RefineOptions,
+    /// Refinement engine run after every projection: the boundary FM
+    /// refiner (default) or the frozen-gain sweep (see [`RefineScheme`]).
+    pub refine_scheme: RefineScheme,
 }
 
 impl Default for MultilevelConfig {
@@ -62,6 +67,7 @@ impl Default for MultilevelConfig {
             coarsen_target: 64,
             match_scheme: MatchScheme::default(),
             refine: RefineOptions::default(),
+            refine_scheme: RefineScheme::default(),
         }
     }
 }
@@ -138,15 +144,59 @@ impl Partitioner for MultilevelPartitioner {
         let levels = coarsen_to_with(graph, target, seed, self.config.match_scheme);
         let coarsest = levels.last().map_or(graph, |l| &l.coarse);
 
+        let opts = &self.config.refine;
         let mut partition = self.inner.partition(coarsest, num_parts, seed)?.partition;
-        refine_kway(coarsest, &mut partition, &self.config.refine);
+        // One FM workspace serves every level of the uncoarsening (its
+        // buffers are sized once at the fine level and reused).
+        let mut fm = FmRefiner::new();
+        match self.config.refine_scheme {
+            RefineScheme::Sweep => {
+                refine_kway(coarsest, &mut partition, opts);
+            }
+            RefineScheme::BoundaryFm => {
+                fm.refine(coarsest, &mut partition, opts, seed);
+            }
+        }
 
         // Uncoarsen: project through each level, refining on the finer
-        // graph after every projection.
+        // graph after every projection. For FM, the fine boundary after
+        // a projection is exactly the preimage of the coarse boundary
+        // (a cut fine edge maps to a cut coarse edge), and the engine's
+        // own [`FmRefiner::last_boundary_superset`] covers the coarse
+        // boundary after each refine — so each level masks that
+        // superset and projects through `project_for_fm`, one fused
+        // pass that also yields the boundary hint and the per-part
+        // loads/populations for the primed refiner. No O(V + E)
+        // boundary rediscovery, no O(V) re-tally, and supersets compose,
+        // so results are bit-identical to the unhinted engine
+        // (`boundary_fm_fast_path_matches_the_unhinted_engine` pins it).
+        let mut mask: Vec<bool> = Vec::new();
         for (i, level) in levels.iter().enumerate().rev() {
-            partition = level.project(&partition);
             let fine = if i == 0 { graph } else { &levels[i - 1].coarse };
-            refine_kway(fine, &mut partition, &self.config.refine);
+            match self.config.refine_scheme {
+                RefineScheme::Sweep => {
+                    partition = level.project(&partition);
+                    refine_kway(fine, &mut partition, opts);
+                }
+                RefineScheme::BoundaryFm => {
+                    mask.clear();
+                    mask.resize(level.coarse.num_nodes(), false);
+                    for &v in fm.last_boundary_superset() {
+                        mask[v as usize] = true;
+                    }
+                    let projected = level.project_for_fm(&partition, fine, &mask);
+                    partition = projected.partition;
+                    fm.refine_primed(
+                        fine,
+                        &mut partition,
+                        opts,
+                        seed,
+                        &projected.hint,
+                        projected.loads,
+                        projected.counts,
+                    );
+                }
+            }
         }
         Ok(PartitionReport::new(self.name, graph, partition))
     }
@@ -247,6 +297,31 @@ mod tests {
     }
 
     #[test]
+    fn boundary_fm_fast_path_matches_the_unhinted_engine() {
+        // The V-cycle's fused projection + boundary-superset chaining +
+        // primed tallies are pure plumbing: the result must be
+        // bit-identical to projecting plainly and running a fresh,
+        // unhinted FM engine at every level.
+        use crate::coarsen::coarsen_to;
+        use crate::fm::refine_fm;
+        let g = jittered_mesh(600, 21);
+        let seed = 17;
+        let fast = ml_blocks().partition(&g, 5, seed).unwrap().partition;
+
+        let levels = coarsen_to(&g, 64, seed);
+        let coarsest = levels.last().map_or(&g, |l| &l.coarse);
+        let mut p = Blocks.partition(coarsest, 5, seed).unwrap().partition;
+        let opts = crate::refine::RefineOptions::default();
+        refine_fm(coarsest, &mut p, &opts, seed);
+        for (i, level) in levels.iter().enumerate().rev() {
+            p = level.project(&p);
+            let fine = if i == 0 { &g } else { &levels[i - 1].coarse };
+            refine_fm(fine, &mut p, &opts, seed);
+        }
+        assert_eq!(fast, p, "fast path diverged from the reference V-cycle");
+    }
+
+    #[test]
     fn rejects_bad_part_counts_without_panicking() {
         let g = jittered_mesh(30, 5);
         let ml = ml_blocks();
@@ -312,6 +387,7 @@ mod tests {
                     balance_slack: 0.5,
                     max_passes: 2,
                 },
+                refine_scheme: RefineScheme::Sweep,
             },
         );
         assert_eq!(ml.inner().name(), "blocks");

@@ -48,6 +48,51 @@ use rayon::prelude::*;
 /// inline rather than paying thread-spawn overhead.
 const SCAN_CHUNK: usize = 2048;
 
+/// Which refinement engine a caller (the multilevel V-cycle, the
+/// streaming session, the CLI's `--refine` flag) runs after each
+/// projection or batch. Callers dispatch on the variant themselves —
+/// the V-cycle and the streaming session keep a persistent
+/// [`crate::fm::FmRefiner`] workspace across calls, which a stateless
+/// dispatch function could not provide.
+///
+/// Both schemes share [`RefineOptions`], never increase the cut, respect
+/// the balance cap and the never-empty-a-part rule, report exact gains,
+/// and are bit-identical for any worker-pool size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefineScheme {
+    /// The frozen-gain greedy sweep in this module ([`refine_kway`]):
+    /// parallel scan of every vertex, sequential apply of the strictly
+    /// improving winners. Cannot chain moves through locally-worse
+    /// states.
+    Sweep,
+    /// The boundary-driven Fiduccia–Mattheyses engine
+    /// ([`crate::fm`]): gain buckets over the cut boundary only,
+    /// hill-climbing move chains with rollback to the best prefix,
+    /// seeded tie-breaking. The default — strictly stronger on the
+    /// V-cycle hot path and cheaper per pass on large graphs.
+    #[default]
+    BoundaryFm,
+}
+
+impl RefineScheme {
+    /// CLI name of the scheme (`sweep` / `fm`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RefineScheme::Sweep => "sweep",
+            RefineScheme::BoundaryFm => "fm",
+        }
+    }
+
+    /// Resolves a CLI name (`sweep` / `fm`); `None` for unknown names.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "sweep" => Some(RefineScheme::Sweep),
+            "fm" => Some(RefineScheme::BoundaryFm),
+            _ => None,
+        }
+    }
+}
+
 /// Knobs of a [`refine_kway`] run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RefineOptions {

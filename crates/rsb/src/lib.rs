@@ -28,7 +28,7 @@ pub mod partitioner_impl;
 pub use bisect::{rsb_bisect, rsb_partition, RsbOptions};
 pub use fiedler::fiedler_vector;
 pub use laplacian::laplacian;
-pub use multilevel::multilevel_rsb;
+pub use multilevel::{multilevel_rsb, MultilevelOptions};
 pub use partitioner_impl::{MultilevelRsbPartitioner, RsbPartitioner};
 
 /// Errors from the spectral partitioning pipeline.

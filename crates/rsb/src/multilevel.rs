@@ -13,7 +13,7 @@ use crate::RsbError;
 use gapart_graph::coarsen::MatchScheme;
 use gapart_graph::multilevel::{MultilevelConfig, MultilevelPartitioner};
 use gapart_graph::partitioner::{PartitionReport, Partitioner, PartitionerError};
-use gapart_graph::refine::RefineOptions;
+use gapart_graph::refine::{RefineOptions, RefineScheme};
 use gapart_graph::{CsrGraph, Partition};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -27,6 +27,8 @@ pub struct MultilevelOptions {
     pub balance_slack: f64,
     /// Refinement passes per level.
     pub refine_passes: usize,
+    /// Per-level refinement engine (boundary FM by default).
+    pub refine_scheme: RefineScheme,
     /// Seed for coarsening and the spectral solves.
     pub seed: u64,
 }
@@ -40,6 +42,7 @@ impl Default for MultilevelOptions {
             coarsen_target: config.coarsen_target,
             balance_slack: config.refine.balance_slack,
             refine_passes: config.refine.max_passes,
+            refine_scheme: config.refine_scheme,
             seed: 0x4d4c_5253, // "MLRS"
         }
     }
@@ -56,6 +59,7 @@ impl MultilevelOptions {
                 balance_slack: self.balance_slack,
                 max_passes: self.refine_passes,
             },
+            refine_scheme: self.refine_scheme,
         }
     }
 }

@@ -30,6 +30,7 @@ use crate::graph::incremental::grow_local;
 use crate::graph::io::{coords_from_text, coords_to_text, from_metis, to_metis};
 use crate::graph::partition::{Partition, PartitionMetrics};
 use crate::graph::partitioner::Partitioner;
+use crate::graph::refine::RefineScheme;
 use crate::graph::CsrGraph;
 use crate::rsb::{rsb_partition, RsbOptions};
 use std::collections::BTreeMap;
@@ -131,10 +132,14 @@ USAGE:
   gapart-cli partition GRAPH.metis --parts P
              [--method dpga|ga|rsb|ibp|mldpga|mlga|mlrsb|mlibp]
              [--fitness total|worst] [--gens G] [--pop SIZE] [--seed S]
-             [--coords G.xy] [--out labels.part] [--svg view.svg]
+             [--refine fm|sweep] [--coords G.xy] [--out labels.part]
+             [--svg view.svg]
              (ml* methods are the multilevel V-cycle; mlga/mldpga honour
               --fitness and default --gens/--pop to the coarse-level
-              sizing, applying them only when given explicitly)
+              sizing, applying them only when given explicitly.
+              --refine picks the per-level refinement engine of the ml*
+              methods: the boundary FM refiner with gain buckets, the
+              default, or the frozen-gain greedy sweep)
   gapart-cli eval GRAPH.metis LABELS.part --parts P [--coords G.xy]
              [--svg view.svg]
   gapart-cli grow GRAPH.metis --coords G.xy --add K [--seed S]
@@ -146,7 +151,7 @@ USAGE:
              (mesh-growth needs --coords; ops is mutations per batch)
   gapart-cli stream GRAPH.metis --trace trace.txt --parts P
              [--coords G.xy] [--method mlga|mldpga|mlrsb|...]
-             [--threshold 1.5] [--hops 2] [--seed S]
+             [--refine fm|sweep] [--threshold 1.5] [--hops 2] [--seed S]
              [--labels-out labels.part] [--graph-out final.metis]
              [--coords-out final.xy]
              (replays the trace through a dynamic session: new nodes are
@@ -247,6 +252,15 @@ pub fn labels_from_text(text: &str, num_parts: u32) -> Result<Partition, CliErro
     Partition::new(labels, num_parts).map_err(|e| CliError::Failed(e.to_string()))
 }
 
+/// Parses the `--refine` flag (boundary FM when absent).
+fn parse_refine(args: &Args) -> Result<RefineScheme, CliError> {
+    match args.flag("refine") {
+        None => Ok(RefineScheme::default()),
+        Some(s) => RefineScheme::by_name(s)
+            .ok_or_else(|| CliError::Usage(format!("--refine {s}: expected fm|sweep"))),
+    }
+}
+
 fn cmd_gen(args: &Args) -> Result<String, CliError> {
     let kind = args.require("kind")?;
     let n: usize = args.flag_parse("nodes", 0)?;
@@ -344,6 +358,19 @@ fn cmd_partition(args: &Args) -> Result<String, CliError> {
     let gens: usize = args.flag_parse("gens", 150usize)?;
     let pop: usize = args.flag_parse("pop", 320usize)?;
     let seed: u64 = args.flag_parse("seed", 0x5343_3934u64)?;
+    let refine_scheme = parse_refine(args)?;
+    // `--refine` configures the V-cycle's per-level refinement; flat
+    // methods have no refinement stage, so silently accepting the flag
+    // there would misreport what ran.
+    if args.flag("refine").is_some() && !method.starts_with("ml") {
+        return Err(CliError::Usage(format!(
+            "--refine applies only to the multilevel (ml*) methods, not {method}"
+        )));
+    }
+    let ml_config = crate::graph::multilevel::MultilevelConfig {
+        refine_scheme,
+        ..Default::default()
+    };
 
     // Every method goes through the one `Partitioner` abstraction; the
     // match only configures which implementation (and with what budget).
@@ -351,7 +378,9 @@ fn cmd_partition(args: &Args) -> Result<String, CliError> {
     // but use the coarse-level sizing — the V-cycle, not --gens/--pop,
     // sets their budget.
     let partitioner: Box<dyn Partitioner> = match method {
-        "rsb" | "ibp" | "mlrsb" | "mlibp" => crate::partitioners::by_name(method)
+        "rsb" | "ibp" => crate::partitioners::by_name(method)
+            .ok_or_else(|| CliError::Failed(format!("method {method} is not registered")))?,
+        "mlrsb" | "mlibp" => crate::partitioners::by_name_with(method, refine_scheme)
             .ok_or_else(|| CliError::Failed(format!("method {method} is not registered")))?,
         "mlga" => {
             let mut config = GaConfig::coarse_defaults(parts).with_fitness(fitness);
@@ -363,7 +392,11 @@ fn cmd_partition(args: &Args) -> Result<String, CliError> {
             if args.flag("gens").is_some() {
                 config.generations = gens;
             }
-            crate::partitioners::multilevel("mlga", crate::partitioners::tuned_ga(config))
+            crate::partitioners::multilevel_with(
+                "mlga",
+                crate::partitioners::tuned_ga(config),
+                ml_config,
+            )
         }
         "mldpga" => {
             let mut cfg = DpgaConfig::coarse(parts);
@@ -374,7 +407,11 @@ fn cmd_partition(args: &Args) -> Result<String, CliError> {
             if args.flag("gens").is_some() {
                 cfg.base.generations = gens;
             }
-            crate::partitioners::multilevel("mldpga", crate::partitioners::tuned_dpga(cfg))
+            crate::partitioners::multilevel_with(
+                "mldpga",
+                crate::partitioners::tuned_dpga(cfg),
+                ml_config,
+            )
         }
         "ga" => {
             let mut config = GaConfig::paper_defaults(parts)
@@ -574,12 +611,15 @@ fn cmd_stream(args: &Args) -> Result<String, CliError> {
     let threshold: f64 = args.flag_parse("threshold", 1.5f64)?;
     let hops: usize = args.flag_parse("hops", 2usize)?;
     let seed: u64 = args.flag_parse("seed", 0x5343_3934u64)?;
+    // One engine for both refinement surfaces of a stream: the session's
+    // dirty-frontier passes and the escalation method's V-cycle.
+    let refine_scheme = parse_refine(args)?;
 
     let graph = load_graph(path, args.flag("coords"))?;
     let trace_text = std::fs::read_to_string(trace_path)?;
     let trace =
         parse_trace(&trace_text).map_err(|e| CliError::Failed(format!("{trace_path}: {e}")))?;
-    let full = crate::partitioners::by_name(method).ok_or_else(|| {
+    let full = crate::partitioners::by_name_with(method, refine_scheme).ok_or_else(|| {
         CliError::Usage(format!(
             "--method {method}: expected one of {}",
             crate::partitioners::NAMES.join("|")
@@ -589,7 +629,8 @@ fn cmd_stream(args: &Args) -> Result<String, CliError> {
     let config = DynamicConfig::new(parts)
         .with_seed(seed)
         .with_escalate_ratio(threshold)
-        .with_frontier_hops(hops);
+        .with_frontier_hops(hops)
+        .with_refine_scheme(refine_scheme);
     let mut session =
         DynamicSession::new(graph, full, config).map_err(|e| CliError::Failed(e.to_string()))?;
 
@@ -936,6 +977,54 @@ mod tests {
         )))
         .unwrap_err();
         assert!(err.to_string().contains("labels for"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn refine_flag_selects_the_engine_and_rejects_misuse() {
+        let dir = std::env::temp_dir().join(format!("gapart-cli-refine-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = dir.join("g.metis");
+        let gs = g.to_str().unwrap();
+        run(&argv(&format!(
+            "gen --kind mesh --nodes 80 --seed 2 --out {gs}"
+        )))
+        .unwrap();
+
+        // Both engines run on an ml* method; both reports carry metrics.
+        for scheme in ["fm", "sweep"] {
+            let out = run(&argv(&format!(
+                "partition {gs} --parts 4 --method mlrsb --refine {scheme}"
+            )))
+            .unwrap();
+            assert!(out.contains("total cut"), "{scheme}: {out}");
+        }
+        // The default (no flag) equals --refine fm bit for bit.
+        let labels = dir.join("a.part");
+        let ls = labels.to_str().unwrap();
+        run(&argv(&format!(
+            "partition {gs} --parts 4 --method mlrsb --out {ls}"
+        )))
+        .unwrap();
+        let default_labels = std::fs::read_to_string(&labels).unwrap();
+        run(&argv(&format!(
+            "partition {gs} --parts 4 --method mlrsb --refine fm --out {ls}"
+        )))
+        .unwrap();
+        assert_eq!(default_labels, std::fs::read_to_string(&labels).unwrap());
+
+        // Unknown engine and flat-method misuse are usage errors.
+        let err = run(&argv(&format!(
+            "partition {gs} --parts 4 --method mlrsb --refine turbo"
+        )))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        let err = run(&argv(&format!(
+            "partition {gs} --parts 4 --method rsb --refine fm"
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("ml*"), "{err}");
+
         std::fs::remove_dir_all(&dir).ok();
     }
 

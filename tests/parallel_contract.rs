@@ -99,6 +99,41 @@ fn local_refinement_is_bit_identical_across_pools() {
 }
 
 #[test]
+fn boundary_fm_is_bit_identical_across_pools() {
+    // The FM engine is sequential by construction, but the contract is
+    // pinned here anyway: its callers (V-cycle, streaming) run inside
+    // pools, and a future parallelization must not leak scheduling.
+    use gapart::graph::fm::{refine_fm, refine_fm_local};
+    let g = grid2d(30, 30, GridKind::Triangulated);
+    let opts = RefineOptions {
+        balance_slack: 0.1,
+        max_passes: 6,
+    };
+    let base = random_partition(900, 6, SEED ^ 2);
+    let region: Vec<u32> = (100..600u32).collect();
+    let mut reference: Option<(Partition, RefineStats, Partition, RefineStats)> = None;
+    for threads in POOLS {
+        let mut full = base.clone();
+        let mut local = base.clone();
+        let (sf, sl) = with_pool(threads, || {
+            (
+                refine_fm(&g, &mut full, &opts, SEED),
+                refine_fm_local(&g, &mut local, &opts, SEED, &region),
+            )
+        });
+        match &reference {
+            None => reference = Some((full, sf, local, sl)),
+            Some((rf, rsf, rl, rsl)) => {
+                assert_eq!(&full, rf, "{threads}-thread FM refine diverged");
+                assert_eq!(&sf, rsf);
+                assert_eq!(&local, rl, "{threads}-thread local FM diverged");
+                assert_eq!(&sl, rsl);
+            }
+        }
+    }
+}
+
+#[test]
 fn mlga_solve_is_bit_identical_across_pools() {
     // End to end: seeded coarsening stack, GA on the coarsest graph
     // (rayon-parallel fitness evaluation), per-level projection + k-way
