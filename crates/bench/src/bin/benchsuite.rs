@@ -3,9 +3,9 @@
 //!
 //! Runs large-grid / geometric / churn-stream scenarios across a sweep of
 //! forced worker-pool sizes, flat and multilevel methods side by side —
-//! including the boundary-FM vs greedy-sweep refinement comparison
-//! (`mlga` vs `mlga-sweep`, `stream+mlga` vs `stream+mlga-sweep`) — and
-//! writes `BENCH_5.json` (see `--out`) with per-row wall time, cut
+//! including the refinement-engine comparison (`mlga` vs `mlga-pfm` vs
+//! `mlga-sweep`, and their `stream+` twins) — and
+//! writes `BENCH_6.json` (see `--out`) with per-row wall time, cut
 //! metrics, and an FNV-1a hash of the final labels — the witness that
 //! every thread count produced the bit-identical partition. The schema
 //! lives in `gapart_bench::json` and CI validates every emitted document
@@ -43,7 +43,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 /// The PR number this trajectory file records.
-const PR: u64 = 5;
+const PR: u64 = 6;
 const SEED: u64 = 0x5343_3934; // "SC94"
 const PARTS: u32 = 8;
 
@@ -78,6 +78,19 @@ fn mlga_sweep() -> Box<dyn Partitioner> {
         partitioners::tuned_ga(GaConfig::coarse_defaults(2)),
         MultilevelConfig {
             refine_scheme: RefineScheme::Sweep,
+            ..MultilevelConfig::default()
+        },
+    )
+}
+
+/// The registry `mlga` with the parallel colored-batch FM — the
+/// thread-scaling refinement the anchor scenarios track against `mlga`.
+fn mlga_pfm() -> Box<dyn Partitioner> {
+    partitioners::multilevel_with(
+        "mlga-pfm",
+        partitioners::tuned_ga(GaConfig::coarse_defaults(2)),
+        MultilevelConfig {
+            refine_scheme: RefineScheme::ParallelFm,
             ..MultilevelConfig::default()
         },
     )
@@ -165,6 +178,7 @@ fn run_stream(
 ) -> Row {
     let method = match scheme {
         RefineScheme::BoundaryFm => "stream+mlga",
+        RefineScheme::ParallelFm => "stream+mlga-pfm",
         RefineScheme::Sweep => "stream+mlga-sweep",
     };
     let trace = generate(
@@ -296,7 +310,7 @@ fn load_rows(path: &str) -> Vec<json::TrajectoryRow> {
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
-    let mut out_path = "BENCH_5.json".to_string();
+    let mut out_path = "BENCH_6.json".to_string();
     let mut validate_path: Option<String> = None;
     let mut validate_all_dir: Option<String> = None;
     let mut compare: Option<(String, String)> = None;
@@ -415,6 +429,15 @@ fn main() {
     for &t in &cap(&[1, 2]) {
         rows.push(run_method("grid-anchor", &anchor, "mlga", "multilevel", t));
     }
+    for &t in &cap(&[1, 2]) {
+        rows.push(run_partitioner(
+            "grid-anchor",
+            &anchor,
+            &*mlga_pfm(),
+            "multilevel",
+            t,
+        ));
+    }
     rows.push(run_partitioner(
         "grid-anchor",
         &anchor,
@@ -464,6 +487,13 @@ fn main() {
         "multilevel",
         1,
     ));
+    rows.push(run_partitioner(
+        "geometric-anchor",
+        &geo_anchor,
+        &*mlga_pfm(),
+        "multilevel",
+        1,
+    ));
     rows.push(run_method(
         "geometric-anchor",
         &geo_anchor,
@@ -473,7 +503,11 @@ fn main() {
     ));
 
     let churn_anchor = grid2d(12, 12, GridKind::FourConnected);
-    for scheme in [RefineScheme::BoundaryFm, RefineScheme::Sweep] {
+    for scheme in [
+        RefineScheme::BoundaryFm,
+        RefineScheme::ParallelFm,
+        RefineScheme::Sweep,
+    ] {
         rows.push(run_stream("churn-anchor", &churn_anchor, 4, 20, 1, scheme));
     }
 
@@ -490,6 +524,15 @@ fn main() {
         );
         for &t in &cap(&[1, 2, 4, 8]) {
             rows.push(run_method("grid", &grid, "mlga", "multilevel", t));
+        }
+        for &t in &cap(&[1, 4]) {
+            rows.push(run_partitioner(
+                "grid",
+                &grid,
+                &*mlga_pfm(),
+                "multilevel",
+                t,
+            ));
         }
         for &t in &cap(&[1, 4]) {
             rows.push(run_partitioner(
@@ -554,6 +597,14 @@ fn main() {
                 RefineScheme::BoundaryFm,
             ));
         }
+        rows.push(run_stream(
+            "churn-stream",
+            &sgrid,
+            15,
+            150,
+            1,
+            RefineScheme::ParallelFm,
+        ));
         rows.push(run_stream(
             "churn-stream",
             &sgrid,

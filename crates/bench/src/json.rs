@@ -501,12 +501,14 @@ pub fn compare_trajectories(
 ) -> CompareReport {
     let mut report = CompareReport::default();
     let by_key: BTreeMap<_, &TrajectoryRow> = baseline.iter().map(|r| (r.key(), r)).collect();
-    let mut unmatched = 0usize;
+    let row_label =
+        |r: &TrajectoryRow| format!("{}/{}/{} x{}", r.scenario, r.method, r.mode, r.threads);
+    let mut unmatched: Vec<String> = Vec::new();
     let mut candidate_keys = std::collections::BTreeSet::new();
     for cand in candidate {
         candidate_keys.insert(cand.key());
         let Some(base) = by_key.get(&cand.key()) else {
-            unmatched += 1;
+            unmatched.push(row_label(cand));
             continue;
         };
         report.matched += 1;
@@ -547,23 +549,31 @@ pub fn compare_trajectories(
             ));
         }
     }
-    if unmatched > 0 {
+    // Skipped keys are *named*, not just counted: a silently resized
+    // anchor or a typo'd method name would otherwise hide inside a bare
+    // count while the gate kept passing on whatever still matched.
+    if !unmatched.is_empty() {
         report.notes.push(format!(
-            "{unmatched} candidate row(s) have no baseline counterpart (new or resized scenarios)"
+            "{} candidate row(s) have no baseline counterpart (new or resized scenarios): {}",
+            unmatched.len(),
+            unmatched.join(", ")
         ));
     }
     // The reverse direction matters too: an anchor silently vanishing
     // from the candidate must leave a trace (expected and benign when a
     // smoke candidate is compared against a full baseline, whose large
     // scenarios the smoke run never executes).
-    let baseline_only = by_key
-        .keys()
-        .filter(|k| !candidate_keys.contains(*k))
-        .count();
-    if baseline_only > 0 {
+    let baseline_only: Vec<String> = by_key
+        .iter()
+        .filter(|(k, _)| !candidate_keys.contains(*k))
+        .map(|(_, r)| row_label(r))
+        .collect();
+    if !baseline_only.is_empty() {
         report.notes.push(format!(
-            "{baseline_only} baseline row(s) have no candidate counterpart \
-             (full-only scenarios, or rows the candidate no longer runs)"
+            "{} baseline row(s) have no candidate counterpart \
+             (full-only scenarios, or rows the candidate no longer runs): {}",
+            baseline_only.len(),
+            baseline_only.join(", ")
         ));
     }
     if report.matched == 0 {
@@ -766,6 +776,54 @@ mod tests {
                 .iter()
                 .any(|n| n.contains("no candidate counterpart")),
             "{report:?}"
+        );
+    }
+
+    #[test]
+    fn compare_names_skipped_candidate_keys_and_gates_on_the_intersection() {
+        // Candidate grew a row the baseline never recorded (a new anchor
+        // or a resized scenario): the gate judges only the intersection,
+        // and the skipped key is *named* in the notes, not just counted.
+        let base = rows_of(&doc(&[row(1, "00deadbeef00cafe", 42)]));
+        // The same cell at a new thread count keeps the cell's hash and
+        // cut (the document-level determinism contract still holds).
+        let cand = rows_of(&doc(&[
+            row(1, "00deadbeef00cafe", 42),
+            row(2, "00deadbeef00cafe", 42),
+        ]));
+        let report = compare_trajectories(&base, &cand);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert_eq!(report.matched, 1);
+        let note = report
+            .notes
+            .iter()
+            .find(|n| n.contains("no baseline counterpart"))
+            .expect("skipped candidate rows must be noted");
+        assert!(note.contains("grid/mlga/multilevel x2"), "{note}");
+    }
+
+    #[test]
+    fn compare_names_skipped_baseline_keys_and_gates_on_the_intersection() {
+        // The smoke-vs-full case: the baseline's full-only rows are
+        // absent from the candidate. The gate still passes on the
+        // matched anchors and every skipped baseline key is named.
+        let base = rows_of(&doc(&[
+            row(1, "00deadbeef00cafe", 42),
+            row(4, "00deadbeef00cafe", 42),
+            row(8, "00deadbeef00cafe", 42),
+        ]));
+        let cand = rows_of(&doc(&[row(1, "00deadbeef00cafe", 42)]));
+        let report = compare_trajectories(&base, &cand);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert_eq!(report.matched, 1);
+        let note = report
+            .notes
+            .iter()
+            .find(|n| n.contains("no candidate counterpart"))
+            .expect("skipped baseline rows must be noted");
+        assert!(
+            note.contains("grid/mlga/multilevel x4") && note.contains("grid/mlga/multilevel x8"),
+            "{note}"
         );
     }
 

@@ -37,7 +37,7 @@
 use crate::error::GaError;
 use crate::incremental::{extend_partition_balanced, greedy_neighbor_assign};
 use gapart_graph::dynamic::{apply_batch, Mutation};
-use gapart_graph::fm::FmRefiner;
+use gapart_graph::fm::{FmRefiner, ParallelFm};
 use gapart_graph::partition::cut_size;
 use gapart_graph::refine::{refine_kway_local, RefineOptions, RefineScheme, RefineStats};
 use gapart_graph::{CsrGraph, GraphError, Partition, Partitioner, PartitionerError};
@@ -206,6 +206,10 @@ pub struct DynamicSession {
     /// batch refinement under [`RefineScheme::BoundaryFm`] touches only
     /// the dirty frontier's buckets and allocates nothing steady-state.
     fm: FmRefiner,
+    /// Reusable parallel-FM workspace for
+    /// [`RefineScheme::ParallelFm`] — the same frontier-local contract,
+    /// with colored conflict-free move batches applied per round.
+    pfm: ParallelFm,
 }
 
 impl std::fmt::Debug for DynamicSession {
@@ -247,6 +251,7 @@ impl DynamicSession {
             batches: 0,
             history: Vec::new(),
             fm: FmRefiner::new(),
+            pfm: ParallelFm::new(),
         })
     }
 
@@ -288,6 +293,7 @@ impl DynamicSession {
             batches: 0,
             history: Vec::new(),
             fm: FmRefiner::new(),
+            pfm: ParallelFm::new(),
         })
     }
 
@@ -423,6 +429,10 @@ impl DynamicSession {
         let refine = match self.config.refine_scheme {
             RefineScheme::BoundaryFm => {
                 self.fm
+                    .refine_local(&graph, &mut partition, &self.config.refine, seed, &frontier)
+            }
+            RefineScheme::ParallelFm => {
+                self.pfm
                     .refine_local(&graph, &mut partition, &self.config.refine, seed, &frontier)
             }
             RefineScheme::Sweep => {

@@ -39,7 +39,7 @@
 
 use crate::coarsen::{coarsen_to_with, MatchScheme};
 use crate::csr::CsrGraph;
-use crate::fm::FmRefiner;
+use crate::fm::{FmRefiner, ParallelFm};
 use crate::partitioner::{PartitionReport, Partitioner, PartitionerError};
 use crate::refine::{refine_kway, RefineOptions, RefineScheme};
 
@@ -149,12 +149,16 @@ impl Partitioner for MultilevelPartitioner {
         // One FM workspace serves every level of the uncoarsening (its
         // buffers are sized once at the fine level and reused).
         let mut fm = FmRefiner::new();
+        let mut pfm = ParallelFm::new();
         match self.config.refine_scheme {
             RefineScheme::Sweep => {
                 refine_kway(coarsest, &mut partition, opts);
             }
             RefineScheme::BoundaryFm => {
                 fm.refine(coarsest, &mut partition, opts, seed);
+            }
+            RefineScheme::ParallelFm => {
+                pfm.refine(coarsest, &mut partition, opts, seed);
             }
         }
 
@@ -187,6 +191,26 @@ impl Partitioner for MultilevelPartitioner {
                     let projected = level.project_for_fm(&partition, fine, &mask);
                     partition = projected.partition;
                     fm.refine_primed(
+                        fine,
+                        &mut partition,
+                        opts,
+                        seed,
+                        &projected.hint,
+                        projected.loads,
+                        projected.counts,
+                    );
+                }
+                // The parallel engine honours the same boundary-superset
+                // contract, so it rides the identical fused fast path.
+                RefineScheme::ParallelFm => {
+                    mask.clear();
+                    mask.resize(level.coarse.num_nodes(), false);
+                    for &v in pfm.last_boundary_superset() {
+                        mask[v as usize] = true;
+                    }
+                    let projected = level.project_for_fm(&partition, fine, &mask);
+                    partition = projected.partition;
+                    pfm.refine_primed(
                         fine,
                         &mut partition,
                         opts,
@@ -319,6 +343,39 @@ mod tests {
             refine_fm(fine, &mut p, &opts, seed);
         }
         assert_eq!(fast, p, "fast path diverged from the reference V-cycle");
+    }
+
+    #[test]
+    fn parallel_fm_fast_path_matches_the_unhinted_engine() {
+        // Same plumbing claim for the parallel engine: riding the fused
+        // projection + boundary-superset chain must be bit-identical to
+        // projecting plainly and running a fresh, unhinted ParallelFm at
+        // every level.
+        use crate::coarsen::coarsen_to;
+        use crate::fm::ParallelFm;
+        let g = jittered_mesh(600, 21);
+        let seed = 17;
+        let ml = MultilevelPartitioner::with_config(
+            "mlblocks-pfm",
+            Box::new(Blocks),
+            MultilevelConfig {
+                refine_scheme: RefineScheme::ParallelFm,
+                ..MultilevelConfig::default()
+            },
+        );
+        let fast = ml.partition(&g, 5, seed).unwrap().partition;
+
+        let levels = coarsen_to(&g, 64, seed);
+        let coarsest = levels.last().map_or(&g, |l| &l.coarse);
+        let mut p = Blocks.partition(coarsest, 5, seed).unwrap().partition;
+        let opts = crate::refine::RefineOptions::default();
+        ParallelFm::new().refine(coarsest, &mut p, &opts, seed);
+        for (i, level) in levels.iter().enumerate().rev() {
+            p = level.project(&p);
+            let fine = if i == 0 { &g } else { &levels[i - 1].coarse };
+            ParallelFm::new().refine(fine, &mut p, &opts, seed);
+        }
+        assert_eq!(fast, p, "pfm fast path diverged from the reference V-cycle");
     }
 
     #[test]

@@ -72,22 +72,32 @@ pub enum RefineScheme {
     /// V-cycle hot path and cheaper per pass on large graphs.
     #[default]
     BoundaryFm,
+    /// The parallel boundary FM ([`crate::fm::ParallelFm`]): each pass
+    /// applies conflict-free batches of edge-disjoint moves selected by
+    /// seeded part-pair-colored keys — frozen-label gain evaluation in
+    /// parallel, exact sequential apply in index order. Same invariants
+    /// as [`RefineScheme::BoundaryFm`]; scales the last sequential
+    /// V-cycle stage with cores.
+    ParallelFm,
 }
 
 impl RefineScheme {
-    /// CLI name of the scheme (`sweep` / `fm`).
+    /// CLI name of the scheme (`sweep` / `fm` / `pfm`).
     pub fn name(self) -> &'static str {
         match self {
             RefineScheme::Sweep => "sweep",
             RefineScheme::BoundaryFm => "fm",
+            RefineScheme::ParallelFm => "pfm",
         }
     }
 
-    /// Resolves a CLI name (`sweep` / `fm`); `None` for unknown names.
+    /// Resolves a CLI name (`sweep` / `fm` / `pfm`); `None` for unknown
+    /// names.
     pub fn by_name(name: &str) -> Option<Self> {
         match name {
             "sweep" => Some(RefineScheme::Sweep),
             "fm" => Some(RefineScheme::BoundaryFm),
+            "pfm" => Some(RefineScheme::ParallelFm),
             _ => None,
         }
     }

@@ -1,0 +1,90 @@
+//! Property-based tests for the fused projection fast path
+//! (`Coarsening::project_for_fm`): the boundary *hint* it emits must be
+//! a superset of the true cut boundary of the projected partition — the
+//! contract the primed FM refiners rely on to skip boundary rediscovery
+//! — and the per-part loads / populations it tallies must be exact.
+//! (The fused-vs-separate-passes equivalence is pinned by a unit test in
+//! the coarsen module; this pins the *semantic* guarantee on random
+//! weighted graphs.)
+
+use gapart_graph::builder::GraphBuilder;
+use gapart_graph::coarsen::coarsen_to;
+use gapart_graph::partition::{boundary_nodes, Partition, PartitionMetrics};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Strategy: raw ingredients of a random simple weighted graph plus a
+/// random partition (n, edges, parts, seed).
+fn arb_instance() -> impl Strategy<Value = (usize, Vec<(u32, u32)>, u32, u64)> {
+    (6usize..60).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32).prop_filter("no self-loops", |(u, v)| u != v);
+        (
+            Just(n),
+            proptest::collection::vec(edge, 0..(n * 3)),
+            2u32..5,
+            any::<u64>(),
+        )
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32)], seed: u64) -> gapart_graph::CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weighted: Vec<(u32, u32, u32)> = edges
+        .iter()
+        .map(|&(u, v)| (u, v, rng.gen_range(1..20)))
+        .collect();
+    let vw: Vec<u32> = (0..n).map(|_| rng.gen_range(1..8)).collect();
+    GraphBuilder::with_nodes(n)
+        .weighted_edges(weighted)
+        .node_weights(vw)
+        .build()
+        .unwrap()
+}
+
+fn random_partition(n: usize, parts: u32, seed: u64) -> Partition {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+    Partition::new((0..n).map(|_| rng.gen_range(0..parts)).collect(), parts).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// At every level of a multilevel hierarchy, projecting an arbitrary
+    /// coarse partition through `project_for_fm` with the coarse graph's
+    /// *true* cut boundary as the mask (the tightest mask the contract
+    /// allows) yields a hint covering every fine boundary vertex, and
+    /// exact loads / counts.
+    #[test]
+    fn projected_hint_is_a_boundary_superset_with_exact_tallies(
+        (n, edges, parts, seed) in arb_instance(),
+    ) {
+        let g = build(n, &edges, seed);
+        let levels = coarsen_to(&g, (n / 3).max(2), seed);
+        for (i, level) in levels.iter().enumerate() {
+            let fine = if i == 0 { &g } else { &levels[i - 1].coarse };
+            let coarse_partition =
+                random_partition(level.coarse.num_nodes(), parts, seed ^ i as u64);
+            let mut mask = vec![false; level.coarse.num_nodes()];
+            for v in boundary_nodes(&level.coarse, &coarse_partition) {
+                mask[v as usize] = true;
+            }
+            let projected = level.project_for_fm(&coarse_partition, fine, &mask);
+
+            let hinted: std::collections::HashSet<u32> =
+                projected.hint.iter().copied().collect();
+            for v in boundary_nodes(fine, &projected.partition) {
+                prop_assert!(
+                    hinted.contains(&v),
+                    "level {}: fine boundary vertex {} missing from the hint",
+                    i, v
+                );
+            }
+
+            let m = PartitionMetrics::compute(fine, &projected.partition);
+            prop_assert_eq!(&projected.loads, &m.part_loads, "level {}: loads", i);
+            let counts: Vec<usize> = projected.partition.part_sizes().to_vec();
+            prop_assert_eq!(&projected.counts, &counts, "level {}: counts", i);
+        }
+    }
+}

@@ -132,14 +132,15 @@ USAGE:
   gapart-cli partition GRAPH.metis --parts P
              [--method dpga|ga|rsb|ibp|mldpga|mlga|mlrsb|mlibp]
              [--fitness total|worst] [--gens G] [--pop SIZE] [--seed S]
-             [--refine fm|sweep] [--coords G.xy] [--out labels.part]
+             [--refine fm|pfm|sweep] [--coords G.xy] [--out labels.part]
              [--svg view.svg]
              (ml* methods are the multilevel V-cycle; mlga/mldpga honour
               --fitness and default --gens/--pop to the coarse-level
               sizing, applying them only when given explicitly.
               --refine picks the per-level refinement engine of the ml*
               methods: the boundary FM refiner with gain buckets, the
-              default, or the frozen-gain greedy sweep)
+              default; its parallel colored-batch variant, pfm; or the
+              frozen-gain greedy sweep)
   gapart-cli eval GRAPH.metis LABELS.part --parts P [--coords G.xy]
              [--svg view.svg]
   gapart-cli grow GRAPH.metis --coords G.xy --add K [--seed S]
@@ -151,7 +152,7 @@ USAGE:
              (mesh-growth needs --coords; ops is mutations per batch)
   gapart-cli stream GRAPH.metis --trace trace.txt --parts P
              [--coords G.xy] [--method mlga|mldpga|mlrsb|...]
-             [--refine fm|sweep] [--threshold 1.5] [--hops 2] [--seed S]
+             [--refine fm|pfm|sweep] [--threshold 1.5] [--hops 2] [--seed S]
              [--labels-out labels.part] [--graph-out final.metis]
              [--coords-out final.xy]
              (replays the trace through a dynamic session: new nodes are
@@ -257,7 +258,7 @@ fn parse_refine(args: &Args) -> Result<RefineScheme, CliError> {
     match args.flag("refine") {
         None => Ok(RefineScheme::default()),
         Some(s) => RefineScheme::by_name(s)
-            .ok_or_else(|| CliError::Usage(format!("--refine {s}: expected fm|sweep"))),
+            .ok_or_else(|| CliError::Usage(format!("--refine {s}: expected fm|pfm|sweep"))),
     }
 }
 
@@ -991,8 +992,8 @@ mod tests {
         )))
         .unwrap();
 
-        // Both engines run on an ml* method; both reports carry metrics.
-        for scheme in ["fm", "sweep"] {
+        // Every engine runs on an ml* method; each report carries metrics.
+        for scheme in ["fm", "pfm", "sweep"] {
             let out = run(&argv(&format!(
                 "partition {gs} --parts 4 --method mlrsb --refine {scheme}"
             )))

@@ -135,7 +135,11 @@ mod tests {
         use crate::graph::generators::jittered_mesh;
         let g = jittered_mesh(120, 7);
         for name in NAMES {
-            for scheme in [RefineScheme::Sweep, RefineScheme::BoundaryFm] {
+            for scheme in [
+                RefineScheme::Sweep,
+                RefineScheme::BoundaryFm,
+                RefineScheme::ParallelFm,
+            ] {
                 let p = by_name_with(name, scheme).unwrap();
                 assert_eq!(p.name(), name);
                 // Flat methods ignore the scheme; ml* must still satisfy
