@@ -5,11 +5,11 @@
 //! forced worker-pool sizes, flat and multilevel methods side by side —
 //! including the refinement-engine comparison (`mlga` vs `mlga-pfm` vs
 //! `mlga-sweep`, and their `stream+` twins) — and
-//! writes `BENCH_6.json` (see `--out`) with per-row wall time, cut
-//! metrics, and an FNV-1a hash of the final labels — the witness that
-//! every thread count produced the bit-identical partition. The schema
-//! lives in `gapart_bench::json` and CI validates every emitted document
-//! against it.
+//! writes `BENCH_7.json` (see `--out`) with per-row wall time, cut
+//! metrics, peak-RSS memory telemetry, and an FNV-1a hash of the final
+//! labels — the witness that every thread count produced the
+//! bit-identical partition. The schema lives in `gapart_bench::json`
+//! and CI validates every emitted document against it.
 //!
 //! The `*-anchor` scenarios run at identical sizes in both smoke and
 //! full mode, so a CI smoke run is directly comparable against the
@@ -43,9 +43,14 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 /// The PR number this trajectory file records.
-const PR: u64 = 6;
+const PR: u64 = 7;
 const SEED: u64 = 0x5343_3934; // "SC94"
 const PARTS: u32 = 8;
+
+/// CI time budget for the million-node smoke anchor (generation plus both
+/// methods). Smoke mode hard-fails past this, so a scale regression can
+/// never ride a green pipeline.
+const SMOKE_1M_BUDGET_S: f64 = 180.0;
 
 struct Row {
     scenario: &'static str,
@@ -57,10 +62,44 @@ struct Row {
     wall_ms: f64,
     total_cut: u64,
     max_cut: u64,
+    /// Standard balance ratio `max_load / ideal_load` (1.0 = perfect).
     imbalance: f64,
+    /// The pre-PR-7 raw `PartitionMetrics::imbalance` weight delta, kept
+    /// under a renamed key for anyone consuming the old field.
+    imbalance_weight_delta: f64,
+    /// Process peak RSS (VmHWM) observed by the end of this row, bytes.
+    /// A high-water mark: monotone over the run, so the 1M/10M rows show
+    /// the memory ceiling of the scale path. `None` off-Linux.
+    peak_rss_bytes: Option<u64>,
     partition_hash: String,
     batches: Option<usize>,
     escalations: Option<usize>,
+}
+
+/// Peak resident-set size of this process so far (`VmHWM` from
+/// `/proc/self/status`), in bytes; `None` where procfs is unavailable.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line
+        .strip_prefix("VmHWM:")?
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
+/// `max_load / ideal_load` from the per-part loads (1.0 when the total
+/// weight is zero — an empty graph is perfectly balanced).
+fn imbalance_ratio(part_loads: &[u64]) -> f64 {
+    let total: u64 = part_loads.iter().sum();
+    if total == 0 || part_loads.is_empty() {
+        return 1.0;
+    }
+    let max = *part_loads.iter().max().expect("non-empty") as f64;
+    max * part_loads.len() as f64 / total as f64
 }
 
 fn pool(threads: usize) -> rayon::ThreadPool {
@@ -122,12 +161,26 @@ fn run_partitioner(
     mode: &'static str,
     threads: usize,
 ) -> Row {
-    let method = p.name();
     // Best of three runs: partitioning is deterministic (asserted), so
     // repetition only de-noises the wall time.
+    run_partitioner_reps(scenario, graph, p, mode, threads, 3)
+}
+
+/// [`run_partitioner`] with an explicit repetition count — the 1M/10M
+/// anchors run once (each rep is seconds, and their determinism is pinned
+/// by the CI matrix, not by in-process repetition).
+fn run_partitioner_reps(
+    scenario: &'static str,
+    graph: &CsrGraph,
+    p: &dyn Partitioner,
+    mode: &'static str,
+    threads: usize,
+    reps: usize,
+) -> Row {
+    let method = p.name();
     let mut wall_ms = f64::INFINITY;
     let mut partition = None;
-    for _ in 0..3 {
+    for _ in 0..reps {
         let start = Instant::now();
         let r = pool(threads)
             .install(|| p.partition(graph, PARTS, SEED))
@@ -153,7 +206,9 @@ fn run_partitioner(
         wall_ms,
         total_cut: metrics.total_cut,
         max_cut: metrics.max_cut,
-        imbalance: metrics.imbalance,
+        imbalance: imbalance_ratio(&metrics.part_loads),
+        imbalance_weight_delta: metrics.imbalance,
+        peak_rss_bytes: peak_rss_bytes(),
         partition_hash: hash_labels(partition.labels()),
         batches: None,
         escalations: None,
@@ -179,6 +234,7 @@ fn run_stream(
     let method = match scheme {
         RefineScheme::BoundaryFm => "stream+mlga",
         RefineScheme::ParallelFm => "stream+mlga-pfm",
+        RefineScheme::ParallelFmRescan => "stream+mlga-pfm-rescan",
         RefineScheme::Sweep => "stream+mlga-sweep",
     };
     let trace = generate(
@@ -223,7 +279,9 @@ fn run_stream(
         wall_ms,
         total_cut: m.total_cut,
         max_cut: m.max_cut,
-        imbalance: m.imbalance,
+        imbalance: imbalance_ratio(&m.part_loads),
+        imbalance_weight_delta: m.imbalance,
+        peak_rss_bytes: peak_rss_bytes(),
         partition_hash: hash_labels(session.partition().labels()),
         batches: Some(batches),
         escalations: Some(escalations),
@@ -236,13 +294,32 @@ fn run_stream(
     row
 }
 
-fn render(rows: &[Row], smoke: bool, speedup: Option<f64>) -> String {
+fn render(
+    rows: &[Row],
+    smoke: bool,
+    speedup: Option<f64>,
+    scenario_walls: &[(&'static str, f64)],
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"schema\": \"{TRAJECTORY_SCHEMA}\",");
     let _ = writeln!(out, "  \"pr\": {PR},");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Per-scenario elapsed wall time (seconds), so the CI time budget of
+    // each scenario — the 1M smoke anchor above all — is visible in the
+    // document, not just in CI logs.
+    let mut walls = String::new();
+    for (i, (name, secs)) in scenario_walls.iter().enumerate() {
+        let _ = write!(
+            walls,
+            "{}\"{}\": {:.3}",
+            if i == 0 { "" } else { ", " },
+            json::escape(name),
+            secs
+        );
+    }
+    let walls = format!(", \"scenario_wall_s\": {{{walls}}}");
     if cpus < 4 {
         // Speedup rows are core-bound: flag sub-4-core recordings so a
         // reader never mistakes a hardware ceiling for a code property.
@@ -250,10 +327,10 @@ fn render(rows: &[Row], smoke: bool, speedup: Option<f64>) -> String {
             out,
             "  \"host\": {{\"cpus\": {cpus}, \"note\": \"recorded on a {cpus}-core host; \
              cross-thread wall_ms ratios are bounded by the cores available, not by the \
-             pipeline (which is parallel end to end)\"}},"
+             pipeline (which is parallel end to end)\"{walls}}},"
         );
     } else {
-        let _ = writeln!(out, "  \"host\": {{\"cpus\": {cpus}}},");
+        let _ = writeln!(out, "  \"host\": {{\"cpus\": {cpus}{walls}}},");
     }
     match speedup {
         Some(s) => {
@@ -275,12 +352,16 @@ fn render(rows: &[Row], smoke: bool, speedup: Option<f64>) -> String {
         if let Some(e) = r.escalations {
             let _ = write!(extra, ", \"escalations\": {e}");
         }
+        if let Some(rss) = r.peak_rss_bytes {
+            let _ = write!(extra, ", \"peak_rss_bytes\": {rss}");
+        }
         let _ = writeln!(
             out,
             "    {{\"scenario\": \"{}\", \"method\": \"{}\", \"mode\": \"{}\", \
              \"threads\": {}, \"parts\": {PARTS}, \"seed\": {SEED}, \"nodes\": {}, \
              \"edges\": {}, \"wall_ms\": {:.3}, \"total_cut\": {}, \"max_cut\": {}, \
-             \"imbalance\": {:.4}, \"partition_hash\": \"{}\"{extra}}}{}",
+             \"imbalance\": {:.4}, \"imbalance_weight_delta\": {:.4}, \
+             \"partition_hash\": \"{}\"{extra}}}{}",
             json::escape(r.scenario),
             json::escape(&r.method),
             r.mode,
@@ -291,6 +372,7 @@ fn render(rows: &[Row], smoke: bool, speedup: Option<f64>) -> String {
             r.total_cut,
             r.max_cut,
             r.imbalance,
+            r.imbalance_weight_delta,
             r.partition_hash,
             if i + 1 == rows.len() { "" } else { "," }
         );
@@ -310,7 +392,7 @@ fn load_rows(path: &str) -> Vec<json::TrajectoryRow> {
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
-    let mut out_path = "BENCH_6.json".to_string();
+    let mut out_path = "BENCH_7.json".to_string();
     let mut validate_path: Option<String> = None;
     let mut validate_all_dir: Option<String> = None;
     let mut compare: Option<(String, String)> = None;
@@ -417,6 +499,19 @@ fn main() {
         |ts: &[usize]| -> Vec<usize> { ts.iter().copied().filter(|&t| t <= max_threads).collect() };
     let mut rows: Vec<Row> = Vec::new();
 
+    // Per-scenario elapsed wall time: printed as each scenario finishes
+    // and recorded under `host.scenario_wall_s`, so CI time budgets are
+    // visible where the budget is enforced.
+    let mut scenario_walls: Vec<(&'static str, f64)> = Vec::new();
+    let mut mark = Instant::now();
+    let lap = |name: &'static str, walls: &mut Vec<(&'static str, f64)>, mark: &mut Instant| {
+        let secs = mark.elapsed().as_secs_f64();
+        println!("  [scenario {name}: {secs:.2} s]");
+        walls.push((name, secs));
+        *mark = Instant::now();
+        secs
+    };
+
     // ---- Anchor scenarios: identical sizes in smoke and full mode, so
     // a CI smoke document has rows directly comparable (same identity
     // keys) against the newest committed full-run trajectory.
@@ -447,6 +542,7 @@ fn main() {
     ));
     rows.push(run_method("grid-anchor", &anchor, "ibp", "flat", 1));
     rows.push(run_method("grid-anchor", &anchor, "mlrsb", "multilevel", 1));
+    lap("grid-anchor", &mut scenario_walls, &mut mark);
 
     let ga_lite = partitioners::tuned_ga(
         GaConfig::paper_defaults(PARTS)
@@ -473,6 +569,7 @@ fn main() {
         "multilevel",
         1,
     ));
+    lap("grid-ga-anchor", &mut scenario_walls, &mut mark);
 
     let geo_anchor = random_geometric(400, 1.5 / (400f64).sqrt(), SEED);
     println!(
@@ -501,6 +598,7 @@ fn main() {
         "flat",
         1,
     ));
+    lap("geometric-anchor", &mut scenario_walls, &mut mark);
 
     let churn_anchor = grid2d(12, 12, GridKind::FourConnected);
     for scheme in [
@@ -509,6 +607,43 @@ fn main() {
         RefineScheme::Sweep,
     ] {
         rows.push(run_stream("churn-anchor", &churn_anchor, 4, 20, 1, scheme));
+    }
+    lap("churn-anchor", &mut scenario_walls, &mut mark);
+
+    // ---- Million-node anchor: the scale path, in both smoke and full
+    // mode (identical size, so the compare gate covers it). One rep per
+    // method — each run is seconds, and determinism at this size is
+    // pinned by the CI matrix rather than in-process repetition. Smoke
+    // mode enforces the CI time budget.
+    let grid_1m = grid2d(1000, 1000, GridKind::FourConnected);
+    println!(
+        "grid-1m-anchor 1000x1000: {} nodes, {} edges",
+        grid_1m.num_nodes(),
+        grid_1m.num_edges()
+    );
+    rows.push(run_partitioner_reps(
+        "grid-1m-anchor",
+        &grid_1m,
+        &*partitioners::by_name("mlga").expect("mlga is registered"),
+        "multilevel",
+        1,
+        1,
+    ));
+    rows.push(run_partitioner_reps(
+        "grid-1m-anchor",
+        &grid_1m,
+        &*mlga_pfm(),
+        "multilevel",
+        1,
+        1,
+    ));
+    drop(grid_1m);
+    let secs_1m = lap("grid-1m-anchor", &mut scenario_walls, &mut mark);
+    if smoke {
+        assert!(
+            secs_1m <= SMOKE_1M_BUDGET_S,
+            "grid-1m-anchor took {secs_1m:.1} s, over the {SMOKE_1M_BUDGET_S:.0} s smoke budget"
+        );
     }
 
     // ---- Full-size scenarios (skipped in smoke mode).
@@ -549,6 +684,7 @@ fn main() {
         for &t in &cap(&[1, 4]) {
             rows.push(run_method("grid", &grid, "mlrsb", "multilevel", t));
         }
+        lap("grid", &mut scenario_walls, &mut mark);
 
         // Scenario 2 — flat GA vs multilevel GA head-to-head, at a size
         // where the flat GA's O(pop × gens × E) budget stays affordable.
@@ -566,6 +702,7 @@ fn main() {
         for &t in &cap(&[1, 4]) {
             rows.push(run_method("grid-ga", &small, "mlga", "multilevel", t));
         }
+        lap("grid-ga", &mut scenario_walls, &mut mark);
 
         // Scenario 3 — random geometric graph: coordinates make the
         // inertial method applicable, so flat IBP vs multilevel GA.
@@ -582,6 +719,7 @@ fn main() {
         for &t in &cap(&[1, 4]) {
             rows.push(run_method("geometric", &geo, "ibp", "flat", t));
         }
+        lap("geometric", &mut scenario_walls, &mut mark);
 
         // Scenario 4 — churn stream: localized refinement on the dirty
         // frontier (FM buckets vs sweep), escalating to full mlga
@@ -613,6 +751,36 @@ fn main() {
             1,
             RefineScheme::Sweep,
         ));
+        lap("churn-stream", &mut scenario_walls, &mut mark);
+
+        // Scenario 5 — ten-million-node grid, full mode only: the
+        // outer edge of the scale path. One rep each; the row's
+        // peak_rss_bytes is the process high-water mark, i.e. the
+        // memory ceiling of the whole suite including this graph.
+        let grid_10m = grid2d(3163, 3163, GridKind::FourConnected);
+        println!(
+            "grid-10m 3163x3163: {} nodes, {} edges",
+            grid_10m.num_nodes(),
+            grid_10m.num_edges()
+        );
+        rows.push(run_partitioner_reps(
+            "grid-10m",
+            &grid_10m,
+            &*partitioners::by_name("mlga").expect("mlga is registered"),
+            "multilevel",
+            1,
+            1,
+        ));
+        rows.push(run_partitioner_reps(
+            "grid-10m",
+            &grid_10m,
+            &*mlga_pfm(),
+            "multilevel",
+            1,
+            1,
+        ));
+        drop(grid_10m);
+        lap("grid-10m", &mut scenario_walls, &mut mark);
     }
 
     // Headline number: mlga on the large grid, 1 thread vs 4.
@@ -629,7 +797,7 @@ fn main() {
         println!("grid mlga speedup, 4 threads vs 1: {s:.2}x");
     }
 
-    let text = render(&rows, smoke, speedup);
+    let text = render(&rows, smoke, speedup, &scenario_walls);
     // Never emit a document the validator would reject.
     let doc = json::parse(&text).expect("benchsuite emits parseable JSON");
     json::validate_trajectory(&doc).expect("benchsuite emits schema-valid JSON");

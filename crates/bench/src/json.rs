@@ -412,6 +412,13 @@ pub fn validate_trajectory(doc: &Json) -> Result<Vec<TrajectoryRow>, String> {
         field("imbalance")?
             .as_f64()
             .ok_or_else(|| format!("results[{i}]: 'imbalance' must be a number"))?;
+        // Optional memory telemetry (PR 7+): when present it must be a
+        // non-negative integer byte count. Older documents simply omit it.
+        if let Some(rss) = row.get("peak_rss_bytes") {
+            rss.as_uint().ok_or_else(|| {
+                format!("results[{i}]: 'peak_rss_bytes' must be a non-negative integer")
+            })?;
+        }
         let partition_hash = str_field("partition_hash")?;
         if partition_hash.len() != 16 || !partition_hash.bytes().all(|b| b.is_ascii_hexdigit()) {
             return Err(format!(
@@ -693,6 +700,22 @@ mod tests {
         ]);
         let err = validate_trajectory(&parse(&text).unwrap()).unwrap_err();
         assert!(err.contains("not deterministic"), "{err}");
+    }
+
+    #[test]
+    fn peak_rss_is_optional_but_typed() {
+        // Absent (pre-PR-7 documents): fine.
+        let old = doc(&[row(1, "00deadbeef00cafe", 42)]);
+        assert!(validate_trajectory(&parse(&old).unwrap()).is_ok());
+        // Present and integral: fine.
+        let with = row(1, "00deadbeef00cafe", 42)
+            .replace("\"wall_ms\"", "\"peak_rss_bytes\": 123456789, \"wall_ms\"");
+        assert!(validate_trajectory(&parse(&doc(&[with])).unwrap()).is_ok());
+        // Present but fractional: rejected.
+        let bad = row(1, "00deadbeef00cafe", 42)
+            .replace("\"wall_ms\"", "\"peak_rss_bytes\": 1.5, \"wall_ms\"");
+        let err = validate_trajectory(&parse(&doc(&[bad])).unwrap()).unwrap_err();
+        assert!(err.contains("peak_rss_bytes"), "{err}");
     }
 
     #[test]

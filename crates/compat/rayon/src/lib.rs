@@ -262,6 +262,17 @@ impl<T: Send> ParIter<T> {
         self
     }
 
+    /// Pairs every item with its index (rayon's
+    /// `IndexedParallelIterator::enumerate`). Items are materialized in
+    /// input order, so the indices are exact regardless of how chunks
+    /// land on workers.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+            min_len: self.min_len,
+        }
+    }
+
     /// Parallel map. Lazy: runs when the result is driven.
     pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, R, F> {
         ParMap {
@@ -487,10 +498,37 @@ impl<T: Sync> ParallelSlice<T> for [T] {
     }
 }
 
+/// `par_chunks_mut()` on slices (subset of
+/// `rayon::slice::ParallelSliceMut`).
+///
+/// Yields non-overlapping `&mut` sub-slices of length `chunk_size` (the
+/// last chunk may be shorter), in order — the zero-allocation shape for
+/// filling a pre-sized output buffer in place from worker threads
+/// (combine with [`ParIter::enumerate`] to recover each chunk's offset).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `chunk_size`-sized `&mut` sub-slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+            min_len: 1,
+        }
+    }
+}
+
 /// Glob-import module mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::{
         IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
     };
 }
 
@@ -625,5 +663,56 @@ mod tests {
     fn range_into_par_iter() {
         let squares: Vec<usize> = (0..50usize).into_par_iter().map(|i| i * i).collect();
         assert_eq!(squares[49], 49 * 49);
+    }
+
+    #[test]
+    fn enumerate_indices_are_exact_in_input_order() {
+        let v: Vec<u32> = (100..10_100).collect();
+        let pairs: Vec<(usize, u32)> = v.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        assert_eq!(pairs.len(), 10_000);
+        for (i, x) in pairs {
+            assert_eq!(x as usize, 100 + i);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_fills_a_buffer_in_place() {
+        let mut out = vec![0u64; 10_001];
+        out.par_chunks_mut(64).enumerate().for_each(|(ci, chunk)| {
+            let base = ci * 64;
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                *slot = (base + j) as u64 * 3;
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &x)| x == i as u64 * 3));
+    }
+
+    #[test]
+    fn par_chunks_mut_matches_under_any_pool_size() {
+        let mut reference = vec![0u32; 5_000];
+        reference
+            .par_chunks_mut(128)
+            .enumerate()
+            .for_each(|(ci, c)| c.iter_mut().for_each(|x| *x = ci as u32));
+        for threads in [1usize, 2, 4, 8] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let mut out = vec![0u32; 5_000];
+            pool.install(|| {
+                out.par_chunks_mut(128)
+                    .enumerate()
+                    .for_each(|(ci, c)| c.iter_mut().for_each(|x| *x = ci as u32))
+            });
+            assert_eq!(out, reference, "pool size {threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn par_chunks_mut_rejects_zero() {
+        let mut v = [1u8, 2, 3];
+        let _ = v.par_chunks_mut(0);
     }
 }

@@ -431,7 +431,13 @@ impl DynamicSession {
                 self.fm
                     .refine_local(&graph, &mut partition, &self.config.refine, seed, &frontier)
             }
-            RefineScheme::ParallelFm => {
+            RefineScheme::ParallelFm | RefineScheme::ParallelFmRescan => {
+                // Same engine, two eval-table modes (identical results);
+                // the persistent workspace serves both.
+                self.pfm.set_full_rescan(matches!(
+                    self.config.refine_scheme,
+                    RefineScheme::ParallelFmRescan
+                ));
                 self.pfm
                     .refine_local(&graph, &mut partition, &self.config.refine, seed, &frontier)
             }

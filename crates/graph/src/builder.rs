@@ -1,6 +1,6 @@
 //! Validated construction of [`CsrGraph`]s from edge lists.
 
-use crate::csr::CsrGraph;
+use crate::csr::{CsrGraph, SmallCsr};
 use crate::error::GraphError;
 use crate::geometry::Point2;
 
@@ -96,6 +96,8 @@ impl GraphBuilder {
     /// * [`GraphError::ZeroEdgeWeight`] / [`GraphError::ZeroNodeWeight`].
     /// * [`GraphError::Parse`] if the weight or coordinate array lengths
     ///   don't match the node count.
+    /// * [`GraphError::AdjacencyOverflow`] if the merged adjacency exceeds
+    ///   the `u32` offset space of the memory-lean CSR core.
     pub fn build(self) -> Result<CsrGraph, GraphError> {
         let n = self.num_nodes;
         if n > u32::MAX as usize {
@@ -201,9 +203,7 @@ impl GraphBuilder {
         }
 
         let g = CsrGraph {
-            xadj,
-            adjncy,
-            eweights,
+            topo: SmallCsr::from_usize_offsets(xadj, adjncy, eweights)?,
             vweights,
             coords: self.coords,
         };

@@ -26,7 +26,8 @@
 //! parallel reductions over the coarse vertices, so the whole module is
 //! bit-identical for any worker-pool size.
 
-use crate::csr::CsrGraph;
+use crate::csr::{CsrGraph, SmallCsr};
+use crate::fm::{FmRefiner, ParallelFm};
 use crate::geometry::Point2;
 use crate::partition::Partition;
 use rand::rngs::StdRng;
@@ -157,6 +158,58 @@ pub struct ProjectedLevel {
     pub counts: Vec<usize>,
 }
 
+/// Recycled workspace for the multilevel V-cycle: every per-level buffer
+/// the coarsening and refinement layers would otherwise allocate afresh —
+/// handshake match arrays, contraction row scratch, the projection
+/// boundary mask, and the FM engine workspaces — owned in one place and
+/// reused across levels, across calls, and across `DynamicSession`
+/// batches.
+///
+/// The arena is purely an allocation cache: every user fully
+/// reinitializes the portion it reads before reading it, so results are
+/// bit-identical whether the arena is fresh or recycled and sharing one
+/// across calls never affects determinism.
+pub struct LevelArena {
+    // Handshake matching: mate/pref tables and the active worklist.
+    mate: Vec<u32>,
+    pref: Vec<u32>,
+    active: Vec<u32>,
+    // Per-round preference snapshot, aligned with `active`.
+    prefs: Vec<u32>,
+    // Contraction: coarse-id owner table.
+    rep: Vec<u32>,
+    // Contraction: merged coarse rows; inner capacities persist.
+    rows: Vec<Vec<(u32, u32)>>,
+    // V-cycle: coarse boundary mask for the fused projection.
+    pub(crate) mask: Vec<bool>,
+    // Refinement engine workspaces, kept warm across levels and calls.
+    pub(crate) fm: FmRefiner,
+    pub(crate) pfm: ParallelFm,
+}
+
+impl Default for LevelArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LevelArena {
+    /// A fresh arena; buffers grow on first use and persist afterwards.
+    pub fn new() -> Self {
+        LevelArena {
+            mate: Vec::new(),
+            pref: Vec::new(),
+            active: Vec::new(),
+            prefs: Vec::new(),
+            rep: Vec::new(),
+            rows: Vec::new(),
+            mask: Vec::new(),
+            fm: FmRefiner::new(),
+            pfm: ParallelFm::new(),
+        }
+    }
+}
+
 /// SplitMix64 — the mixing function behind the seeded edge priorities
 /// (also used by [`crate::fm`] for its seeded tie-breaking keys).
 #[inline]
@@ -191,19 +244,39 @@ fn edge_key(seed: u64, w: u32, v: u32, u: u32) -> (u32, u64, u64) {
 /// hub nodes that stall contraction and wreck coarse-level balance.
 /// [`coarsen_to_with`] supplies the standard `1.5 × total / target` cap;
 /// a single explicit round is uncapped.
-fn match_handshake(graph: &CsrGraph, seed: u64, max_weight: u32) -> Vec<u32> {
+/// The matching is left in `arena.mate`; every buffer it touches is
+/// reinitialized here, so a recycled arena gives the identical result.
+fn match_handshake(graph: &CsrGraph, seed: u64, max_weight: u32, arena: &mut LevelArena) {
     let n = graph.num_nodes();
-    let mut mate = vec![UNMATCHED; n];
-    let mut pref = vec![UNMATCHED; n];
-    let mut active: Vec<u32> = (0..n as u32).collect();
+    let LevelArena {
+        mate,
+        pref,
+        active,
+        prefs,
+        ..
+    } = arena;
+    mate.clear();
+    mate.resize(n, UNMATCHED);
+    pref.clear();
+    pref.resize(n, UNMATCHED);
+    active.clear();
+    active.extend(0..n as u32);
     while !active.is_empty() {
-        // Parallel preference scan against the frozen matched set.
-        let prefs: Vec<u32> = active
-            .par_chunks(PAR_MIN_LEN)
-            .map(|chunk| {
-                chunk
-                    .iter()
-                    .map(|&v| {
+        // Parallel preference scan against the frozen matched set,
+        // written in place into the recycled `prefs` buffer (chunked
+        // exactly like the old collect, so the values are unchanged).
+        prefs.clear();
+        prefs.resize(active.len(), UNMATCHED);
+        {
+            let mate = &*mate;
+            let active = &*active;
+            prefs
+                .par_chunks_mut(PAR_MIN_LEN)
+                .enumerate()
+                .for_each(|(ci, chunk)| {
+                    let base = ci * PAR_MIN_LEN;
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        let v = active[base + i];
                         let wv = graph.node_weight(v);
                         let mut best: Option<((u32, u64, u64), u32)> = None;
                         for (&u, &w) in graph.neighbors(v).iter().zip(graph.edge_weights(v)) {
@@ -216,22 +289,18 @@ fn match_handshake(graph: &CsrGraph, seed: u64, max_weight: u32) -> Vec<u32> {
                                 }
                             }
                         }
-                        best.map_or(UNMATCHED, |(_, u)| u)
-                    })
-                    .collect::<Vec<u32>>()
-            })
-            .collect::<Vec<_>>()
-            .into_iter()
-            .flatten()
-            .collect();
-        for (&v, &p) in active.iter().zip(&prefs) {
+                        *slot = best.map_or(UNMATCHED, |(_, u)| u);
+                    }
+                });
+        }
+        for (&v, &p) in active.iter().zip(prefs.iter()) {
             pref[v as usize] = p;
         }
         // Lock mutual pairs; a vertex with no available neighbour can
         // never regain one (the matched set only grows), so it leaves the
         // active set for good and becomes a singleton at the end.
         let mut locked = 0usize;
-        for &v in &active {
+        for &v in active.iter() {
             let u = pref[v as usize];
             if u != UNMATCHED && mate[v as usize] == UNMATCHED && pref[u as usize] == v {
                 mate[v as usize] = u;
@@ -249,7 +318,6 @@ fn match_handshake(graph: &CsrGraph, seed: u64, max_weight: u32) -> Vec<u32> {
             *m = v as u32; // singleton
         }
     }
-    mate
 }
 
 /// The original sequential randomized HEM. Visits vertices in a seeded
@@ -294,14 +362,17 @@ fn match_sequential(graph: &CsrGraph, seed: u64) -> Vec<u32> {
 /// singleton): assigns coarse ids in fine-id order, then computes coarse
 /// node weights, centroid coordinates, and merged coarse edges as
 /// index-ordered parallel reductions over the coarse vertices.
-fn contract(graph: &CsrGraph, mate: &[u32]) -> Coarsening {
+fn contract(graph: &CsrGraph, mate: &[u32], arena: &mut LevelArena) -> Coarsening {
     let n = graph.num_nodes();
+    let LevelArena { rep, rows, .. } = arena;
 
     // Coarse ids: the lower endpoint of each pair owns the id. `rep[cv]`
     // is that owner, so each coarse vertex knows its 1–2 fine preimages
-    // (`rep` and `mate[rep]`) without a scatter pass.
+    // (`rep` and `mate[rep]`) without a scatter pass. `map` is owned by
+    // the returned Coarsening, so it alone is allocated fresh.
     let mut map = vec![u32::MAX; n];
-    let mut rep: Vec<u32> = Vec::with_capacity(n / 2 + 1);
+    rep.clear();
+    rep.reserve(n / 2 + 1);
     for v in 0..n as u32 {
         if map[v as usize] != u32::MAX {
             continue;
@@ -315,6 +386,7 @@ fn contract(graph: &CsrGraph, mate: &[u32]) -> Coarsening {
         rep.push(v);
     }
     let n_coarse = rep.len();
+    let rep: &[u32] = rep;
 
     // Fine preimages of a coarse vertex, singleton-aware.
     let group = |cv: usize| {
@@ -369,16 +441,22 @@ fn contract(graph: &CsrGraph, mate: &[u32]) -> Coarsening {
             .collect::<Vec<_>>()
     });
 
-    // Coarse adjacency, one merged sorted row per coarse vertex. Summing
-    // in u64 and clamping makes the result independent of accumulation
-    // order (u32 saturation is order-sensitive only at the limit).
-    let rows: Vec<Vec<(u32, u32)>> = (0..n_coarse)
-        .into_par_iter()
-        .with_min_len(PAR_MIN_LEN / 16)
-        .map_init(
-            || Vec::<(u32, u64)>::with_capacity(16),
-            |scratch, cv| {
+    // Coarse adjacency, one merged sorted row per coarse vertex, built in
+    // place into the arena's recycled row buffers (inner capacities
+    // persist across levels). Summing in u64 and clamping makes the
+    // result independent of accumulation order (u32 saturation is
+    // order-sensitive only at the limit).
+    rows.truncate(n_coarse);
+    rows.resize_with(n_coarse, Vec::new);
+    rows.par_chunks_mut(PAR_MIN_LEN / 16)
+        .enumerate()
+        .for_each(|(ci, chunk)| {
+            let mut scratch = Vec::<(u32, u64)>::with_capacity(16);
+            let base = ci * (PAR_MIN_LEN / 16);
+            for (i, row) in chunk.iter_mut().enumerate() {
+                let cv = base + i;
                 scratch.clear();
+                row.clear();
                 let (a, b) = group(cv);
                 for v in [Some(a), b].into_iter().flatten() {
                     for (&u, &w) in graph.neighbors(v).iter().zip(graph.edge_weights(v)) {
@@ -389,7 +467,7 @@ fn contract(graph: &CsrGraph, mate: &[u32]) -> Coarsening {
                     }
                 }
                 scratch.sort_unstable_by_key(|&(cu, _)| cu);
-                let mut row: Vec<(u32, u32)> = Vec::with_capacity(scratch.len());
+                row.reserve(scratch.len());
                 for &(cu, w) in scratch.iter() {
                     match row.last_mut() {
                         Some((last, lw)) if *last == cu => {
@@ -398,32 +476,32 @@ fn contract(graph: &CsrGraph, mate: &[u32]) -> Coarsening {
                         _ => row.push((cu, w.min(u32::MAX as u64) as u32)),
                     }
                 }
-                row
-            },
-        )
-        .collect();
+            }
+        });
 
     // Assemble the CSR arrays directly (prefix sums + ordered copy); the
     // per-row construction above already guarantees sorted, deduplicated,
-    // symmetric rows, which is exactly the builder's postcondition.
-    let mut xadj = Vec::with_capacity(n_coarse + 1);
-    xadj.push(0usize);
-    for row in &rows {
-        xadj.push(xadj.last().unwrap() + row.len());
+    // symmetric rows, which is exactly the builder's postcondition. The
+    // coarse adjacency never exceeds the fine graph's, and every existing
+    // `CsrGraph` already fits the u32 offset space, so the offsets can be
+    // accumulated in u32 directly.
+    let total: usize = rows.iter().map(|r| r.len()).sum();
+    debug_assert!(total <= graph.adjncy().len());
+    let mut xadj: Vec<u32> = Vec::with_capacity(n_coarse + 1);
+    xadj.push(0u32);
+    for row in rows.iter() {
+        xadj.push(xadj.last().unwrap() + row.len() as u32);
     }
-    let total = *xadj.last().unwrap();
     let mut adjncy = Vec::with_capacity(total);
     let mut eweights = Vec::with_capacity(total);
-    for row in &rows {
+    for row in rows.iter() {
         for &(cu, w) in row {
             adjncy.push(cu);
             eweights.push(w);
         }
     }
     let coarse = CsrGraph {
-        xadj,
-        adjncy,
-        eweights,
+        topo: SmallCsr::from_u32_offsets(xadj, adjncy, eweights),
         vweights,
         coords,
     };
@@ -443,18 +521,29 @@ pub fn coarsen_hem(graph: &CsrGraph, seed: u64) -> Coarsening {
 
 /// One round of heavy-edge matching with an explicit [`MatchScheme`].
 pub fn coarsen_hem_with(graph: &CsrGraph, seed: u64, scheme: MatchScheme) -> Coarsening {
-    coarsen_round(graph, seed, scheme, u32::MAX)
+    coarsen_round(graph, seed, scheme, u32::MAX, &mut LevelArena::new())
 }
 
 /// One matching + contraction round under a merge-weight cap (only the
 /// handshake scheme is capped; the sequential reference is preserved
 /// exactly as it always behaved).
-fn coarsen_round(graph: &CsrGraph, seed: u64, scheme: MatchScheme, max_weight: u32) -> Coarsening {
-    let mate = match scheme {
-        MatchScheme::ParallelHandshake => match_handshake(graph, seed, max_weight),
-        MatchScheme::SequentialHem => match_sequential(graph, seed),
-    };
-    contract(graph, &mate)
+fn coarsen_round(
+    graph: &CsrGraph,
+    seed: u64,
+    scheme: MatchScheme,
+    max_weight: u32,
+    arena: &mut LevelArena,
+) -> Coarsening {
+    match scheme {
+        MatchScheme::ParallelHandshake => match_handshake(graph, seed, max_weight, arena),
+        MatchScheme::SequentialHem => arena.mate = match_sequential(graph, seed),
+    }
+    // Lend the matching out of the arena so `contract` can borrow the
+    // rest of it mutably, then hand the buffer back for the next round.
+    let mate = std::mem::take(&mut arena.mate);
+    let level = contract(graph, &mate, arena);
+    arena.mate = mate;
+    level
 }
 
 /// The preserved sequential reference: one round of the original
@@ -462,8 +551,7 @@ fn coarsen_round(graph: &CsrGraph, seed: u64, scheme: MatchScheme, max_weight: u
 /// [`coarsen_hem_with`]`(graph, seed, MatchScheme::SequentialHem)`; kept
 /// as a named entry point so tests can cross-check the flag plumbing.
 pub fn coarsen_hem_seq(graph: &CsrGraph, seed: u64) -> Coarsening {
-    let mate = match_sequential(graph, seed);
-    contract(graph, &mate)
+    coarsen_hem_with(graph, seed, MatchScheme::SequentialHem)
 }
 
 /// Coarsens repeatedly until the graph has at most `target_nodes` nodes or
@@ -485,6 +573,20 @@ pub fn coarsen_to_with(
     seed: u64,
     scheme: MatchScheme,
 ) -> Vec<Coarsening> {
+    coarsen_to_with_arena(graph, target_nodes, seed, scheme, &mut LevelArena::new())
+}
+
+/// [`coarsen_to_with`] against a caller-owned [`LevelArena`], so repeated
+/// V-cycles (and `DynamicSession` batches) recycle every per-level scratch
+/// buffer instead of reallocating it each call. Bit-identical to the
+/// fresh-arena path.
+pub fn coarsen_to_with_arena(
+    graph: &CsrGraph,
+    target_nodes: usize,
+    seed: u64,
+    scheme: MatchScheme,
+    arena: &mut LevelArena,
+) -> Vec<Coarsening> {
     assert!(target_nodes > 0, "target must be positive");
     // METIS-style merge cap: no coarse node may exceed 1.5× the average
     // node weight the target size implies. Total weight is conserved by
@@ -504,7 +606,7 @@ pub fn coarsen_to_with(
         if current.num_edges() == 0 {
             break; // every vertex is isolated; a round would be a no-op
         }
-        let level = coarsen_round(current, seed.wrapping_add(round), scheme, max_weight);
+        let level = coarsen_round(current, seed.wrapping_add(round), scheme, max_weight, arena);
         if level.coarse.num_nodes() as f64 > before as f64 * 0.95 {
             break; // diminishing returns (e.g. star graphs)
         }

@@ -24,7 +24,7 @@
 //! Everything here is deterministic — a trace replay is a pure function
 //! of `(graph, trace)`.
 
-use crate::csr::CsrGraph;
+use crate::csr::{CsrGraph, SmallCsr};
 use crate::error::GraphError;
 use crate::geometry::Point2;
 
@@ -368,9 +368,7 @@ pub fn apply_batch(
     });
 
     let mutated = CsrGraph {
-        xadj,
-        adjncy,
-        eweights,
+        topo: SmallCsr::from_usize_offsets(xadj, adjncy, eweights)?,
         vweights,
         coords,
     };

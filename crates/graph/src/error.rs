@@ -35,6 +35,12 @@ pub enum GraphError {
         /// Requested number of nodes.
         requested: usize,
     },
+    /// The graph has more adjacency entries (directed half-edges) than fit
+    /// into the memory-lean `u32` CSR offset array.
+    AdjacencyOverflow {
+        /// Number of adjacency entries requested.
+        entries: usize,
+    },
     /// A parse error while reading a graph file.
     Parse {
         /// 1-based line number of the offending line.
@@ -74,6 +80,12 @@ impl fmt::Display for GraphError {
             GraphError::ZeroNodeWeight { node } => write!(f, "zero weight on node {node}"),
             GraphError::TooManyNodes { requested } => {
                 write!(f, "{requested} nodes exceed the u32 id space")
+            }
+            GraphError::AdjacencyOverflow { entries } => {
+                write!(
+                    f,
+                    "{entries} adjacency entries exceed the u32 CSR offset space"
+                )
             }
             GraphError::PartOutOfRange { part, num_parts } => {
                 write!(

@@ -818,6 +818,23 @@ fn move_key(seed: u64, v: u32, from: u32, to: u32) -> u64 {
     splitmix64(pair ^ v as u64)
 }
 
+/// Evicts `v`'s entry from the incremental evaluation table in `O(1)`
+/// (swap-remove), fixing the slot map for the entry swapped into its
+/// place. A no-op when `v` has no entry. Table *order* is free to churn:
+/// batch selection is order-independent over the table as a set.
+#[inline]
+fn evict_eval(evals: &mut Vec<(u32, i64, u64, u64)>, epos: &mut [u32], v: u32) {
+    let i = epos[v as usize];
+    if i == NONE {
+        return;
+    }
+    epos[v as usize] = NONE;
+    evals.swap_remove(i as usize);
+    if let Some(&(swapped, ..)) = evals.get(i as usize) {
+        epos[swapped as usize] = i;
+    }
+}
+
 /// Maps a gain to its bucket index, clamping into the end buckets.
 #[inline]
 fn bucket_index(gain: i64, half_range: i64) -> usize {
@@ -918,6 +935,27 @@ const EVAL_CHUNK: usize = 2048;
 /// At pass end the move log rolls back to the shortest best-cut prefix,
 /// so a pass never worsens the cut.
 ///
+/// # Incremental rounds
+///
+/// Only the first round of a pass pays the full frozen scan. Every later
+/// round reuses the previous round's evaluation table and repairs just
+/// the entries an apply invalidated: a cached `(gain, key, external)` is
+/// a function of the labels in the vertex's closed 1-hop neighbourhood
+/// only (the balance cap is judged at apply time, never at evaluation
+/// time), so after a batch applies, the *dirty set* — unlocked
+/// candidates adjacent to a label change — is exactly the set of stale
+/// entries. Batch members are evicted (locked), dirty entries are
+/// re-evaluated in parallel against the new frozen labels, and
+/// everything else is carried over byte-for-byte. Selection in phase 2
+/// is order-independent over the table (the top-gain class is a set, the
+/// conflict test is per-element, and the single-move fallback is a
+/// strict total order), so the incremental table produces bit-identical
+/// batches to a full re-scan **by construction** — debug builds assert
+/// the table equals a from-scratch scan every round. This turns a pass
+/// from `O(rounds × boundary)` into `O(rounds × touched)`.
+/// [`ParallelFm::full_rescan`] builds a reference engine that re-scans
+/// every round (the pre-incremental behaviour) for cross-checking.
+///
 /// # Determinism
 ///
 /// Every parallel phase reads only frozen state and reduces in index
@@ -967,6 +1005,23 @@ pub struct ParallelFm {
     counts: Vec<usize>,
     log: Vec<MoveRec>,
     moved: Vec<u32>,
+    /// The incremental evaluation table carried between rounds:
+    /// `(vertex, frozen gain, seeded key, external weight)` for every
+    /// unlocked candidate currently on the cut boundary.
+    evals: Vec<(u32, i64, u64, u64)>,
+    /// `epos[v]` is `v`'s index in `evals`, or [`NONE`] when absent —
+    /// the slot map behind `O(1)` eviction. All-`NONE` between passes.
+    epos: Vec<u32>,
+    /// Per-round dirty-set dedup stamps (`estale[v] == dirty_gen` ⇔ `v`
+    /// already queued for re-evaluation this round).
+    estale: Vec<u64>,
+    dirty_gen: u64,
+    /// Dirty-candidate scratch list, recycled across rounds.
+    dirty: Vec<u32>,
+    /// Reference mode: re-scan the whole candidate list every round
+    /// instead of repairing the table incrementally. Bit-identical
+    /// results, pre-incremental (PR 6) cost profile.
+    rescan_every_round: bool,
 }
 
 impl Default for ParallelFm {
@@ -976,7 +1031,10 @@ impl Default for ParallelFm {
 }
 
 impl ParallelFm {
-    /// An empty engine; buffers grow on first use.
+    /// An empty engine; buffers grow on first use. Rounds after the
+    /// first of each pass reuse the evaluation table incrementally (see
+    /// the type docs); [`ParallelFm::full_rescan`] builds the
+    /// re-scan-every-round reference engine instead.
     pub fn new() -> Self {
         ParallelFm {
             rstamp: Vec::new(),
@@ -996,7 +1054,35 @@ impl ParallelFm {
             counts: Vec::new(),
             log: Vec::new(),
             moved: Vec::new(),
+            evals: Vec::new(),
+            epos: Vec::new(),
+            estale: Vec::new(),
+            dirty_gen: 0,
+            dirty: Vec::new(),
+            rescan_every_round: false,
         }
+    }
+
+    /// The full-rescan reference engine: every round re-evaluates the
+    /// entire candidate list from scratch instead of repairing the
+    /// table incrementally. Produces bit-identical results to
+    /// [`ParallelFm::new`] (the incremental table is asserted against
+    /// this very scan in debug builds); exists so tests and the CI
+    /// determinism matrix can pin the equivalence at pipeline level.
+    pub fn full_rescan() -> Self {
+        ParallelFm {
+            rescan_every_round: true,
+            ..Self::new()
+        }
+    }
+
+    /// Switches between the incremental default (`false`) and the
+    /// full-rescan reference mode (`true`) on an existing workspace.
+    /// The mode only selects *how* the per-round eval table is produced
+    /// — both produce the same table — so it can be flipped between
+    /// calls without affecting results.
+    pub fn set_full_rescan(&mut self, on: bool) {
+        self.rescan_every_round = on;
     }
 
     /// Parallel boundary-FM refinement over the whole graph. Never
@@ -1122,7 +1208,41 @@ impl ParallelFm {
             self.cstamp.resize(n, 0);
             self.stamp.resize(n, 0);
             self.active.resize(n, 0);
+            self.epos.resize(n, NONE);
+            self.estale.resize(n, 0);
         }
+    }
+
+    /// Debug-build pin of the incremental-round invariant: the carried
+    /// evaluation table must equal, as a set, what a full frozen scan of
+    /// the candidate list would produce right now.
+    #[cfg(debug_assertions)]
+    fn debug_check_eval_table(
+        &self,
+        graph: &CsrGraph,
+        partition: &Partition,
+        cand: &[u32],
+        evals: &[(u32, i64, u64, u64)],
+        seed: u64,
+    ) {
+        let mut conn: Vec<(u32, u64)> = Vec::with_capacity(8);
+        let mut expect: Vec<(u32, i64, u64, u64)> = Vec::new();
+        for &v in cand {
+            if self.locked[v as usize] == self.pass_gen {
+                continue;
+            }
+            if let Some((g, target, ed)) = best_move(graph, partition, &mut conn, v) {
+                let from = partition.part(v);
+                expect.push((v, g, move_key(seed, v, from, target), ed));
+            }
+        }
+        let mut got = evals.to_vec();
+        got.sort_unstable_by_key(|&(v, ..)| v);
+        expect.sort_unstable_by_key(|&(v, ..)| v);
+        assert_eq!(
+            got, expect,
+            "incremental eval table diverged from a full frozen scan"
+        );
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1264,32 +1384,50 @@ impl ParallelFm {
         let mut stall = 0usize;
         let mut stalled = false;
 
+        let mut evals = std::mem::take(&mut self.evals);
+        evals.clear();
+
         while !stalled {
-            // Phase 1 — frozen parallel evaluation of every unlocked
-            // candidate still on the boundary, in index order:
-            // `(vertex, gain, key, external weight)`.
-            let frozen: &Partition = partition;
-            let locked = &self.locked;
-            let evals: Vec<(u32, i64, u64, u64)> = cand
-                .par_chunks(EVAL_CHUNK)
-                .map(|chunk| {
-                    let mut local: Vec<(u32, i64, u64, u64)> = Vec::new();
-                    let mut conn: Vec<(u32, u64)> = Vec::with_capacity(8);
-                    for &v in chunk {
-                        if locked[v as usize] == pass_gen {
-                            continue;
+            // Phase 1 — evaluation, in index order:
+            // `(vertex, gain, key, external weight)` per unlocked
+            // candidate still on the boundary. Only the pass's first
+            // round (or every round, in the full-rescan reference
+            // engine) pays the full frozen parallel scan; later rounds
+            // reuse the table phase 4 repaired — bit-identical by the
+            // staleness argument in the type docs, asserted against a
+            // from-scratch scan in debug builds.
+            if first_round || self.rescan_every_round {
+                let frozen: &Partition = partition;
+                let locked = &self.locked;
+                evals = cand
+                    .par_chunks(EVAL_CHUNK)
+                    .map(|chunk| {
+                        let mut local: Vec<(u32, i64, u64, u64)> = Vec::new();
+                        let mut conn: Vec<(u32, u64)> = Vec::with_capacity(8);
+                        for &v in chunk {
+                            if locked[v as usize] == pass_gen {
+                                continue;
+                            }
+                            if let Some((g, target, ed)) = best_move(graph, frozen, &mut conn, v) {
+                                let from = frozen.part(v);
+                                local.push((v, g, move_key(seed, v, from, target), ed));
+                            }
                         }
-                        if let Some((g, target, ed)) = best_move(graph, frozen, &mut conn, v) {
-                            let from = frozen.part(v);
-                            local.push((v, g, move_key(seed, v, from, target), ed));
-                        }
+                        local
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                if !self.rescan_every_round {
+                    for (i, &(v, ..)) in evals.iter().enumerate() {
+                        self.epos[v as usize] = i as u32;
                     }
-                    local
-                })
-                .collect::<Vec<_>>()
-                .into_iter()
-                .flatten()
-                .collect();
+                }
+            } else {
+                #[cfg(debug_assertions)]
+                self.debug_check_eval_table(graph, partition, &cand, &evals, seed);
+            }
             if evals.is_empty() {
                 break;
             }
@@ -1354,6 +1492,7 @@ impl ParallelFm {
             // Phase 3 — sequential apply in ascending vertex order,
             // re-derived against the live partition (same guards and
             // bookkeeping as the sequential move loop).
+            let moved_start = self.moved.len();
             for &v in &batch {
                 self.locked[v as usize] = pass_gen;
                 let pv = partition.part(v);
@@ -1413,8 +1552,78 @@ impl ParallelFm {
                     }
                 }
             }
+            if stalled {
+                break; // the table is rebuilt next pass; skip the repair
+            }
+
+            // Phase 4 — table repair (incremental mode). Batch members
+            // are locked now, so their entries leave the table. A cached
+            // entry is a pure function of the labels in its closed 1-hop
+            // neighbourhood, so the *dirty set* — unlocked candidates
+            // adjacent to a label change, which also covers every
+            // candidate phase 3 just appended (each is an unlocked,
+            // pass-stamped neighbour of an applied move) — is exactly
+            // the set of stale entries: evict and re-evaluate those in
+            // parallel against the new frozen labels, carry the rest
+            // over untouched.
+            if !self.rescan_every_round {
+                for &v in &batch {
+                    evict_eval(&mut evals, &mut self.epos, v);
+                }
+                self.dirty_gen += 1;
+                let dgen = self.dirty_gen;
+                let mut dirty = std::mem::take(&mut self.dirty);
+                dirty.clear();
+                for i in moved_start..self.moved.len() {
+                    let v = self.moved[i];
+                    for &u in graph.neighbors(v) {
+                        let ui = u as usize;
+                        if self.locked[ui] != pass_gen
+                            && self.cstamp[ui] == pass_gen
+                            && self.estale[ui] != dgen
+                        {
+                            self.estale[ui] = dgen;
+                            evict_eval(&mut evals, &mut self.epos, u);
+                            dirty.push(u);
+                        }
+                    }
+                }
+                let frozen: &Partition = partition;
+                let fresh: Vec<(u32, i64, u64, u64)> = dirty
+                    .par_chunks(EVAL_CHUNK)
+                    .map(|chunk| {
+                        let mut local: Vec<(u32, i64, u64, u64)> = Vec::new();
+                        let mut conn: Vec<(u32, u64)> = Vec::with_capacity(8);
+                        for &v in chunk {
+                            if let Some((g, target, ed)) = best_move(graph, frozen, &mut conn, v) {
+                                let from = frozen.part(v);
+                                local.push((v, g, move_key(seed, v, from, target), ed));
+                            }
+                        }
+                        local
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                for e in fresh {
+                    self.epos[e.0 as usize] = evals.len() as u32;
+                    evals.push(e);
+                }
+                dirty.clear();
+                self.dirty = dirty;
+            }
         }
         self.cand = cand;
+        // Restore the between-pass slot-map invariant (all `NONE`) and
+        // park the table buffer for the next pass.
+        if !self.rescan_every_round {
+            for &(v, ..) in &evals {
+                self.epos[v as usize] = NONE;
+            }
+        }
+        evals.clear();
+        self.evals = evals;
 
         // Roll back past the best prefix, exactly as the sequential
         // engine does.

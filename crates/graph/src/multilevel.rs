@@ -37,11 +37,11 @@
 //! [`Partitioner`] contract (asserted by `tests/partitioner_contract.rs`
 //! at the workspace root).
 
-use crate::coarsen::{coarsen_to_with, MatchScheme};
+use crate::coarsen::{coarsen_to_with_arena, LevelArena, MatchScheme};
 use crate::csr::CsrGraph;
-use crate::fm::{FmRefiner, ParallelFm};
 use crate::partitioner::{PartitionReport, Partitioner, PartitionerError};
 use crate::refine::{refine_kway, RefineOptions, RefineScheme};
+use std::sync::Mutex;
 
 /// Knobs of the V-cycle itself (the inner algorithm keeps its own).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,6 +84,12 @@ pub struct MultilevelPartitioner {
     /// V-cycle knobs; the inner algorithm's configuration lives in the
     /// inner partitioner itself.
     pub config: MultilevelConfig,
+    /// Recycled per-level workspace (match arrays, contraction scratch,
+    /// FM engines), kept warm across `partition` calls and
+    /// `DynamicSession` batches. Behind a mutex because the trait takes
+    /// `&self`; a contended call simply runs on a throwaway fresh arena
+    /// (the arena is an allocation cache only — results are identical).
+    arena: Mutex<LevelArena>,
 }
 
 impl MultilevelPartitioner {
@@ -102,6 +108,7 @@ impl MultilevelPartitioner {
             name,
             inner,
             config,
+            arena: Mutex::new(LevelArena::new()),
         }
     }
 
@@ -141,24 +148,40 @@ impl Partitioner for MultilevelPartitioner {
         // Never coarsen below the part count; HEM at most halves per
         // round, so the coarsest graph keeps strictly more nodes than k.
         let target = self.config.coarsen_target.max(num_parts as usize * 2);
-        let levels = coarsen_to_with(graph, target, seed, self.config.match_scheme);
+
+        // Claim the recycled arena (or fall back to a fresh one under
+        // contention/poisoning — same results, just cold buffers).
+        let mut guard = self.arena.try_lock();
+        let mut cold;
+        let arena: &mut LevelArena = match guard {
+            Ok(ref mut g) => g,
+            Err(_) => {
+                cold = LevelArena::new();
+                &mut cold
+            }
+        };
+        arena.pfm.set_full_rescan(matches!(
+            self.config.refine_scheme,
+            RefineScheme::ParallelFmRescan
+        ));
+
+        let levels = coarsen_to_with_arena(graph, target, seed, self.config.match_scheme, arena);
         let coarsest = levels.last().map_or(graph, |l| &l.coarse);
 
         let opts = &self.config.refine;
         let mut partition = self.inner.partition(coarsest, num_parts, seed)?.partition;
-        // One FM workspace serves every level of the uncoarsening (its
-        // buffers are sized once at the fine level and reused).
-        let mut fm = FmRefiner::new();
-        let mut pfm = ParallelFm::new();
+        // The arena's FM workspaces serve every level of the uncoarsening
+        // (their buffers are sized once at the fine level and reused —
+        // and stay warm for the next call).
         match self.config.refine_scheme {
             RefineScheme::Sweep => {
                 refine_kway(coarsest, &mut partition, opts);
             }
             RefineScheme::BoundaryFm => {
-                fm.refine(coarsest, &mut partition, opts, seed);
+                arena.fm.refine(coarsest, &mut partition, opts, seed);
             }
-            RefineScheme::ParallelFm => {
-                pfm.refine(coarsest, &mut partition, opts, seed);
+            RefineScheme::ParallelFm | RefineScheme::ParallelFmRescan => {
+                arena.pfm.refine(coarsest, &mut partition, opts, seed);
             }
         }
 
@@ -174,7 +197,6 @@ impl Partitioner for MultilevelPartitioner {
         // boundary rediscovery, no O(V) re-tally, and supersets compose,
         // so results are bit-identical to the unhinted engine
         // (`boundary_fm_fast_path_matches_the_unhinted_engine` pins it).
-        let mut mask: Vec<bool> = Vec::new();
         for (i, level) in levels.iter().enumerate().rev() {
             let fine = if i == 0 { graph } else { &levels[i - 1].coarse };
             match self.config.refine_scheme {
@@ -183,14 +205,14 @@ impl Partitioner for MultilevelPartitioner {
                     refine_kway(fine, &mut partition, opts);
                 }
                 RefineScheme::BoundaryFm => {
-                    mask.clear();
-                    mask.resize(level.coarse.num_nodes(), false);
-                    for &v in fm.last_boundary_superset() {
-                        mask[v as usize] = true;
+                    arena.mask.clear();
+                    arena.mask.resize(level.coarse.num_nodes(), false);
+                    for &v in arena.fm.last_boundary_superset() {
+                        arena.mask[v as usize] = true;
                     }
-                    let projected = level.project_for_fm(&partition, fine, &mask);
+                    let projected = level.project_for_fm(&partition, fine, &arena.mask);
                     partition = projected.partition;
-                    fm.refine_primed(
+                    arena.fm.refine_primed(
                         fine,
                         &mut partition,
                         opts,
@@ -201,16 +223,17 @@ impl Partitioner for MultilevelPartitioner {
                     );
                 }
                 // The parallel engine honours the same boundary-superset
-                // contract, so it rides the identical fused fast path.
-                RefineScheme::ParallelFm => {
-                    mask.clear();
-                    mask.resize(level.coarse.num_nodes(), false);
-                    for &v in pfm.last_boundary_superset() {
-                        mask[v as usize] = true;
+                // contract, so it rides the identical fused fast path
+                // (in either eval-table mode).
+                RefineScheme::ParallelFm | RefineScheme::ParallelFmRescan => {
+                    arena.mask.clear();
+                    arena.mask.resize(level.coarse.num_nodes(), false);
+                    for &v in arena.pfm.last_boundary_superset() {
+                        arena.mask[v as usize] = true;
                     }
-                    let projected = level.project_for_fm(&partition, fine, &mask);
+                    let projected = level.project_for_fm(&partition, fine, &arena.mask);
                     partition = projected.partition;
-                    pfm.refine_primed(
+                    arena.pfm.refine_primed(
                         fine,
                         &mut partition,
                         opts,

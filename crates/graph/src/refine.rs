@@ -77,27 +77,39 @@ pub enum RefineScheme {
     /// seeded part-pair-colored keys — frozen-label gain evaluation in
     /// parallel, exact sequential apply in index order. Same invariants
     /// as [`RefineScheme::BoundaryFm`]; scales the last sequential
-    /// V-cycle stage with cores.
+    /// V-cycle stage with cores. Rounds after a pass's first reuse an
+    /// incrementally repaired evaluation table (`O(touched)` per round
+    /// instead of `O(boundary)`).
     ParallelFm,
+    /// The full-rescan reference build of the parallel boundary FM
+    /// ([`crate::fm::ParallelFm::full_rescan`]): re-evaluates the whole
+    /// candidate list every round instead of repairing the table
+    /// incrementally. Bit-identical output to
+    /// [`RefineScheme::ParallelFm`] at the pre-incremental cost profile
+    /// — exists so tests and the CI determinism matrix can pin the
+    /// equivalence at pipeline level, not as a production engine.
+    ParallelFmRescan,
 }
 
 impl RefineScheme {
-    /// CLI name of the scheme (`sweep` / `fm` / `pfm`).
+    /// CLI name of the scheme (`sweep` / `fm` / `pfm` / `pfm-rescan`).
     pub fn name(self) -> &'static str {
         match self {
             RefineScheme::Sweep => "sweep",
             RefineScheme::BoundaryFm => "fm",
             RefineScheme::ParallelFm => "pfm",
+            RefineScheme::ParallelFmRescan => "pfm-rescan",
         }
     }
 
-    /// Resolves a CLI name (`sweep` / `fm` / `pfm`); `None` for unknown
-    /// names.
+    /// Resolves a CLI name (`sweep` / `fm` / `pfm` / `pfm-rescan`);
+    /// `None` for unknown names.
     pub fn by_name(name: &str) -> Option<Self> {
         match name {
             "sweep" => Some(RefineScheme::Sweep),
             "fm" => Some(RefineScheme::BoundaryFm),
             "pfm" => Some(RefineScheme::ParallelFm),
+            "pfm-rescan" => Some(RefineScheme::ParallelFmRescan),
             _ => None,
         }
     }

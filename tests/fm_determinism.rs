@@ -161,6 +161,71 @@ fn multilevel_pipeline_with_parallel_fm_is_bit_identical_across_pools() {
     }
 }
 
+/// The incremental-round ParallelFm (`pfm`, recomputing gains only for
+/// moved vertices' neighbourhoods) is bit-identical to the full-rescan
+/// reference engine (`pfm-rescan`) through the whole multilevel
+/// pipeline, on every anchor instance, under forced 1/2/4/8-thread
+/// pools. This pins ISSUE 7's incremental invariant end-to-end: the
+/// frozen gain table after dirty-set repair equals a from-scratch scan,
+/// so batch selection — and therefore every label — cannot differ.
+#[test]
+fn incremental_rounds_match_the_full_rescan_engine_on_every_anchor() {
+    let bench_seed = 0x5343_3934;
+    let cases: Vec<(&str, CsrGraph, u32, u64)> = vec![
+        (
+            "grid-4c-24",
+            grid2d(24, 24, GridKind::FourConnected),
+            8,
+            bench_seed,
+        ),
+        (
+            "grid-4c-24/99",
+            grid2d(24, 24, GridKind::FourConnected),
+            8,
+            99,
+        ),
+        (
+            "grid-4c-80",
+            grid2d(80, 80, GridKind::FourConnected),
+            8,
+            bench_seed,
+        ),
+        ("jittered-mesh-600", jittered_mesh(600, 21), 5, 21),
+        ("jittered-mesh-2000", jittered_mesh(2000, 4), 8, bench_seed),
+        (
+            "geometric-400",
+            random_geometric(400, 1.5 / (400f64).sqrt(), bench_seed),
+            8,
+            bench_seed,
+        ),
+        (
+            "geometric-400/7",
+            random_geometric(400, 1.5 / (400f64).sqrt(), bench_seed),
+            8,
+            7,
+        ),
+        ("paper-graph-150", paper_graph(150), 4, 1),
+        ("paper-graph-150/11", paper_graph(150), 4, 11),
+    ];
+    let incremental = partitioners::by_name_with("mlga", RefineScheme::ParallelFm).unwrap();
+    let rescan = partitioners::by_name_with("mlga", RefineScheme::ParallelFmRescan).unwrap();
+    for (name, g, parts, seed) in &cases {
+        for threads in [1usize, 2, 4, 8] {
+            let (inc, full) = pool(threads).install(|| {
+                (
+                    incremental.partition(g, *parts, *seed).unwrap(),
+                    rescan.partition(g, *parts, *seed).unwrap(),
+                )
+            });
+            assert_eq!(
+                inc.partition, full.partition,
+                "{name}: incremental pfm diverged from full rescan at {threads} threads"
+            );
+            assert_eq!(inc.metrics.total_cut, full.metrics.total_cut, "{name}");
+        }
+    }
+}
+
 /// Both engines reach identical invariant outcomes on the fixtures where
 /// the outcome is forced: neither may commit a move that would drain a
 /// part, on the exact fixture where the only improving move does so.
