@@ -167,11 +167,12 @@ impl GraphBuilder {
             degree[v as usize] += 1;
         }
         let mut xadj = Vec::with_capacity(n + 1);
+        let mut total = 0usize;
         xadj.push(0usize);
         for d in &degree {
-            xadj.push(xadj.last().unwrap() + d);
+            total += d;
+            xadj.push(total);
         }
-        let total = *xadj.last().unwrap();
         let mut adjncy = vec![0u32; total];
         let mut eweights = vec![0u32; total];
         let mut cursor = xadj[..n].to_vec();

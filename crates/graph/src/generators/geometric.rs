@@ -26,31 +26,8 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> CsrGraph {
         .collect();
 
     let r2 = radius * radius;
-    let mut edges: Vec<(u32, u32)> = Vec::new();
-    // Simple uniform-grid spatial hash keeps this O(n) for sane radii.
     let cell = radius.max(1e-9);
-    let buckets_per_side = (1.0 / cell).ceil() as i64 + 1;
-    let key = |p: &Point2| ((p.x / cell) as i64, (p.y / cell) as i64);
-    let mut grid: std::collections::HashMap<(i64, i64), Vec<u32>> =
-        std::collections::HashMap::new();
-    for (i, p) in pts.iter().enumerate() {
-        grid.entry(key(p)).or_default().push(i as u32);
-    }
-    let _ = buckets_per_side;
-    for (i, p) in pts.iter().enumerate() {
-        let (kx, ky) = key(p);
-        for dx in -1..=1 {
-            for dy in -1..=1 {
-                if let Some(cands) = grid.get(&(kx + dx, ky + dy)) {
-                    for &j in cands {
-                        if (j as usize) > i && pts[j as usize].dist2(p) <= r2 {
-                            edges.push((i as u32, j));
-                        }
-                    }
-                }
-            }
-        }
-    }
+    let edges = disk_edges(&pts, r2, cell, 0..n as u32);
 
     let g = GraphBuilder::with_nodes(n)
         .edges(edges.iter().copied())
@@ -100,6 +77,42 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> CsrGraph {
         .expect("geometric generator emits valid edges")
 }
 
+/// All point pairs closer than `√r2`, via a uniform-grid spatial index
+/// (O(n) for sane radii). The bucket map is a `BTreeMap` and the result
+/// is sorted, so the edge list is a pure function of the point *set* —
+/// bit-identical whatever order `insertion` supplies the ids in (pinned
+/// by `edges_are_insertion_order_independent` below).
+fn disk_edges(
+    pts: &[Point2],
+    r2: f64,
+    cell: f64,
+    insertion: impl Iterator<Item = u32>,
+) -> Vec<(u32, u32)> {
+    let key = |p: &Point2| ((p.x / cell) as i64, (p.y / cell) as i64);
+    let mut grid: std::collections::BTreeMap<(i64, i64), Vec<u32>> =
+        std::collections::BTreeMap::new();
+    for i in insertion {
+        grid.entry(key(&pts[i as usize])).or_default().push(i);
+    }
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for (i, p) in pts.iter().enumerate() {
+        let (kx, ky) = key(p);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(cands) = grid.get(&(kx + dx, ky + dy)) {
+                    for &j in cands {
+                        if (j as usize) > i && pts[j as usize].dist2(p) <= r2 {
+                            edges.push((i as u32, j));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,4 +158,56 @@ mod tests {
         assert_eq!(g.num_nodes(), 1);
         assert_eq!(g.num_edges(), 0);
     }
+
+    /// FNV-1a over the CSR arrays: a stable structural fingerprint.
+    fn graph_hash(g: &CsrGraph) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for &x in g.xadj() {
+            eat(x as u64);
+        }
+        for (u, v, w) in g.edges() {
+            eat(((u as u64) << 32) | v as u64);
+            eat(w as u64);
+        }
+        h
+    }
+
+    /// det-hash-iter regression: the spatial bucket grid must not leak
+    /// its insertion order into the edge list. Before the BTreeMap
+    /// switch a HashMap here was one process-level re-randomization away
+    /// from doing exactly that.
+    #[test]
+    fn edges_are_insertion_order_independent() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        let pts: Vec<Point2> = (0..500)
+            .map(|_| Point2::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        let forward = disk_edges(&pts, 0.05 * 0.05, 0.05, 0..500);
+        // A deterministic scramble: stride through the ids coprime to n.
+        let scrambled = disk_edges(&pts, 0.05 * 0.05, 0.05, (0..500).map(|i| (i * 271) % 500));
+        assert_eq!(forward, scrambled);
+        let reversed = disk_edges(&pts, 0.05 * 0.05, 0.05, (0..500).rev());
+        assert_eq!(forward, reversed);
+    }
+
+    /// Pins the generator's full output hash. A nondeterministic
+    /// collection anywhere on the path (points → buckets → edges →
+    /// connectivity patch-ups) would break this across *runs*, which is
+    /// precisely what the static det-hash-iter rule exists to prevent.
+    #[test]
+    fn output_hash_is_pinned() {
+        let g = random_geometric(300, 0.08, 11);
+        assert_eq!(graph_hash(&g), graph_hash(&random_geometric(300, 0.08, 11)));
+        assert_eq!(graph_hash(&g), PINNED_300_008_11);
+    }
+
+    const PINNED_300_008_11: u64 = 7092425353875542881;
 }

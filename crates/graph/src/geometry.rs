@@ -119,6 +119,14 @@ pub fn density_cell(points: &[Point2]) -> f64 {
     }
 }
 
+/// Bucket index for [`NearestGrid`]. Deliberately a hash map: queries
+/// probe O(k) cells by key on the hot incremental-growth path, and the
+/// map is **never iterated** — every read goes through `get`, and ring
+/// enumeration order comes from cell geometry — so its randomized
+/// iteration order cannot reach any result.
+// gapart-lint: allow(det-hash-iter) -- probe-only: read via get() exclusively, never iterated, so hash order cannot leak into query results
+type BucketGrid = std::collections::HashMap<(i64, i64), Vec<u32>>;
+
 /// Exact k-nearest-neighbour index over a growing 2-D point set, backed
 /// by a uniform bucket grid.
 ///
@@ -135,7 +143,7 @@ pub fn density_cell(points: &[Point2]) -> f64 {
 #[derive(Debug, Clone)]
 pub struct NearestGrid {
     cell: f64,
-    buckets: std::collections::HashMap<(i64, i64), Vec<u32>>,
+    buckets: BucketGrid,
     points: Vec<Point2>,
 }
 
@@ -150,7 +158,7 @@ impl NearestGrid {
         assert!(cell > 0.0 && cell.is_finite(), "bad cell size {cell}");
         let mut grid = NearestGrid {
             cell,
-            buckets: std::collections::HashMap::new(),
+            buckets: BucketGrid::new(),
             points: Vec::with_capacity(points.len()),
         };
         for &p in points {

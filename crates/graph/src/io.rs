@@ -210,13 +210,7 @@ pub fn from_metis(text: &str) -> Result<CsrGraph, GraphError> {
         }
         // Both sides sorted (the entry sort includes the weight), so a
         // positional comparison checks multiset equality.
-        if lower != upper {
-            let (wl, wu) = lower
-                .iter()
-                .zip(&upper)
-                .find(|(l, u)| l != u)
-                .map(|(&l, &u)| (l, u))
-                .expect("unequal sorted vectors differ somewhere");
+        if let Some((&wl, &wu)) = lower.iter().zip(&upper).find(|(l, u)| l != u) {
             return Err(GraphError::Parse {
                 line,
                 message: format!(

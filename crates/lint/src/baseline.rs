@@ -1,0 +1,172 @@
+//! The ratcheting baseline: committed debt, counted per `(file, rule)`.
+//!
+//! `lint-baseline.toml` records how many findings each file is *allowed*
+//! to carry for each rule. The ratchet: a scan that finds **more** than
+//! the recorded count for any `(file, rule)` fails; finding fewer only
+//! prints a staleness note (shrink the file with `--update-baseline`).
+//! Counts rather than line numbers keep the baseline stable under
+//! unrelated edits — debt neither moves nor grows silently.
+//!
+//! The format is a TOML subset parsed by hand (the workspace vendors no
+//! registry crates): quoted-path tables with `rule = count` entries,
+//! `#` comments, nothing else.
+//!
+//! ```toml
+//! ["crates/graph/src/coarsen.rs"]
+//! cast-truncate = 10
+//! lib-panic = 2
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Allowed finding counts, keyed by workspace-relative path, then rule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `file → rule → allowed count`. BTreeMaps keep serialization and
+    /// reporting order deterministic.
+    pub allowed: BTreeMap<String, BTreeMap<String, usize>>,
+}
+
+/// A parse failure, with the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for BaselineParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "baseline line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for BaselineParseError {}
+
+impl Baseline {
+    /// Parses the TOML-subset baseline document.
+    pub fn parse(text: &str) -> Result<Baseline, BaselineParseError> {
+        let mut b = Baseline::default();
+        let mut section: Option<String> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let lno = i + 1;
+            let line = match raw.find('#') {
+                // A '#' only ever starts a comment here: section paths are
+                // quoted but never contain '#', and values are integers.
+                Some(pos) => raw[..pos].trim(),
+                None => raw.trim(),
+            };
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("[\"") {
+                let Some(path) = rest.strip_suffix("\"]") else {
+                    return Err(BaselineParseError {
+                        line: lno,
+                        message: format!("unterminated table header: {line}"),
+                    });
+                };
+                b.allowed.entry(path.to_string()).or_default();
+                section = Some(path.to_string());
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(BaselineParseError {
+                    line: lno,
+                    message: format!("expected `rule = count` or `[\"path\"]`, got: {line}"),
+                });
+            };
+            let Some(section) = &section else {
+                return Err(BaselineParseError {
+                    line: lno,
+                    message: "entry before any [\"path\"] table".into(),
+                });
+            };
+            let rule = key.trim();
+            let count: usize = value.trim().parse().map_err(|_| BaselineParseError {
+                line: lno,
+                message: format!("bad count for {rule}: {}", value.trim()),
+            })?;
+            if crate::rules::rule_by_name(rule).is_none() {
+                return Err(BaselineParseError {
+                    line: lno,
+                    message: format!("unknown rule: {rule}"),
+                });
+            }
+            b.allowed
+                .entry(section.clone())
+                .or_default()
+                .insert(rule.to_string(), count);
+        }
+        Ok(b)
+    }
+
+    /// Serializes back to the committed format, deterministically sorted.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "# gapart-lint baseline — committed findings debt, counted per (file, rule).\n\
+             # The ratchet: a scan finding MORE than a recorded count fails CI; new\n\
+             # files/rules start at zero. Shrink (never grow) this file by fixing\n\
+             # findings and running `cargo run -p gapart-lint -- --workspace --update-baseline`.\n",
+        );
+        for (file, rules) in &self.allowed {
+            if rules.is_empty() {
+                continue;
+            }
+            let _ = write!(out, "\n[\"{file}\"]\n");
+            for (rule, count) in rules {
+                let _ = writeln!(out, "{rule} = {count}");
+            }
+        }
+        out
+    }
+
+    /// Allowed count for `(file, rule)`; zero when absent.
+    pub fn allowed_for(&self, file: &str, rule: &str) -> usize {
+        self.allowed
+            .get(file)
+            .and_then(|m| m.get(rule))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut b = Baseline::default();
+        b.allowed
+            .entry("crates/graph/src/fm.rs".into())
+            .or_default()
+            .insert("cast-truncate".into(), 7);
+        b.allowed
+            .entry("crates/graph/src/csr.rs".into())
+            .or_default()
+            .insert("lib-panic".into(), 2);
+        let text = b.to_toml();
+        assert_eq!(Baseline::parse(&text).unwrap(), b);
+    }
+
+    #[test]
+    fn parses_comments_and_blanks() {
+        let text = "# header\n\n[\"a/b.rs\"]\nlib-panic = 3 # trailing\n";
+        let b = Baseline::parse(text).unwrap();
+        assert_eq!(b.allowed_for("a/b.rs", "lib-panic"), 3);
+        assert_eq!(b.allowed_for("a/b.rs", "det-wallclock"), 0);
+        assert_eq!(b.allowed_for("missing.rs", "lib-panic"), 0);
+    }
+
+    #[test]
+    fn rejects_unknown_rules_and_garbage() {
+        assert!(Baseline::parse("[\"a.rs\"]\nnot-a-rule = 1\n").is_err());
+        assert!(Baseline::parse("lib-panic = 1\n").is_err());
+        assert!(Baseline::parse("[\"a.rs\"\n").is_err());
+        assert!(Baseline::parse("[\"a.rs\"]\nlib-panic = x\n").is_err());
+    }
+}

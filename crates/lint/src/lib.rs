@@ -1,0 +1,31 @@
+//! `gapart-lint` — the static leg of the workspace determinism contract.
+//!
+//! The CI determinism matrix *samples* the bit-identity invariant by
+//! re-running anchors under 1/2/4/8-thread pools; this crate checks the
+//! same invariants at the source level, offline, over every library
+//! line. It is a hand-rolled pass (comment/string-stripping tokenizer +
+//! per-rule substring matchers — no `syn`, consistent with the
+//! workspace's no-registry compat-shim policy) with:
+//!
+//! * a rule table ([`rules::RULES`]) grounded in repo invariants,
+//! * inline suppressions — a comment of the form
+//!   `gapart-lint: allow(<rule>) -- <reason>` on the finding's line or
+//!   the line above (the reason is mandatory),
+//! * a committed, ratcheting baseline ([`baseline::Baseline`],
+//!   `lint-baseline.toml`): existing debt is recorded per `(file, rule)`
+//!   count; any scan exceeding a count fails, so debt can shrink but
+//!   never silently grow.
+//!
+//! The binary (`cargo run -p gapart-lint -- --workspace`) is wired into
+//! CI as the `lint` job; see `docs/ARCHITECTURE.md` for the rule table
+//! and semantics.
+
+pub mod baseline;
+pub mod engine;
+pub mod rules;
+pub mod scan;
+
+pub use baseline::Baseline;
+pub use engine::{
+    apply_baseline, baseline_from_findings, scan_source, scan_workspace, Finding, Ratchet,
+};

@@ -1,0 +1,237 @@
+//! CLI for the workspace determinism/scale lint.
+//!
+//! Exit codes: 0 — clean (every finding baselined), 1 — new findings
+//! (or baseline update needed), 2 — usage or I/O error.
+
+use gapart_lint::baseline::Baseline;
+use gapart_lint::engine::{apply_baseline, baseline_from_findings, scan_workspace, Ratchet};
+use gapart_lint::rules::RULES;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+gapart-lint — workspace determinism/scale static analysis
+
+USAGE:
+    gapart-lint --workspace [OPTIONS]
+    gapart-lint --list-rules
+
+OPTIONS:
+    --workspace            Scan the workspace source trees (required to scan)
+    --root <DIR>           Workspace root (default: current directory)
+    --baseline <FILE>      Baseline path (default: <root>/lint-baseline.toml)
+    --update-baseline      Rewrite the baseline to match this scan's findings
+    --no-baseline          Ignore the baseline: report every finding, fail on any
+    --list-rules           Print the rule table and exit
+
+Suppress a finding in source with a comment on its line or the line above:
+    gapart-lint: allow(<rule>) -- <reason>
+
+Exit codes: 0 clean, 1 findings over baseline, 2 usage/IO error.";
+
+/// Prints a line to stdout, ignoring write errors — a downstream
+/// `| head` closing the pipe must not turn the report into a panic.
+fn out(args: std::fmt::Arguments) {
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_fmt(args);
+    let _ = std::io::stdout().write_all(b"\n");
+}
+
+macro_rules! out {
+    ($($t:tt)*) => { out(format_args!($($t)*)) };
+}
+
+struct Options {
+    workspace: bool,
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    update_baseline: bool,
+    no_baseline: bool,
+    list_rules: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        workspace: false,
+        root: PathBuf::from("."),
+        baseline: None,
+        update_baseline: false,
+        no_baseline: false,
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => o.workspace = true,
+            "--root" => {
+                o.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--baseline" => {
+                o.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a path")?));
+            }
+            "--update-baseline" => o.update_baseline = true,
+            "--no-baseline" => o.no_baseline = true,
+            "--list-rules" => o.list_rules = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(o)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                out!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for r in RULES {
+            out!("{:<20} {}", r.name, r.desc);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if !opts.workspace {
+        eprintln!("error: nothing to do (pass --workspace or --list-rules)\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    if !opts.root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "error: {} does not look like the workspace root (no Cargo.toml); use --root",
+            opts.root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let findings = match scan_workspace(&opts.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| opts.root.join("lint-baseline.toml"));
+
+    if opts.update_baseline {
+        let b = baseline_from_findings(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, b.to_toml()) {
+            eprintln!("error: writing {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        out!(
+            "gapart-lint: baseline rewritten with {} findings across {} files -> {}",
+            findings.len(),
+            b.allowed.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = if opts.no_baseline {
+        Baseline::default()
+    } else {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => match Baseline::parse(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("error: {}: {e}", baseline_path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!(
+                    "error: reading {}: {e} (run with --update-baseline to create it)",
+                    baseline_path.display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let ratchet = apply_baseline(&findings, &baseline);
+    report(&ratchet);
+    if ratchet.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn report(r: &Ratchet) {
+    for over in &r.over {
+        eprintln!(
+            "NEW {} [{}]: {} finding(s), baseline allows {}",
+            over.file, over.rule, over.found, over.allowed
+        );
+        for f in &over.findings {
+            eprintln!("    {}:{}: {}", f.file, f.line, f.excerpt);
+        }
+    }
+    for (file, rule, found, allowed) in &r.stale {
+        eprintln!(
+            "stale baseline: {file} [{rule}] allows {allowed}, scan found {found} — \
+             shrink it with --update-baseline"
+        );
+    }
+    let verdict = if r.ok() { "OK" } else { "FAIL" };
+    out!(
+        "gapart-lint: {} findings ({} baselined, {} over budget in {} group(s)) — {verdict}",
+        r.total,
+        r.baselined,
+        r.total - r.baselined,
+        r.over.len()
+    );
+    write_step_summary(r);
+}
+
+/// Appends a markdown digest to `$GITHUB_STEP_SUMMARY` when CI provides
+/// it, so failures are readable without opening the log.
+fn write_step_summary(r: &Ratchet) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    if path.is_empty() || r.ok() {
+        return;
+    }
+    let mut md = String::from("### gapart-lint: new findings over baseline\n\n");
+    md.push_str("| file | rule | found | allowed |\n|---|---|---|---|\n");
+    for over in &r.over {
+        let _ = writeln!(
+            md,
+            "| `{}` | {} | {} | {} |",
+            over.file, over.rule, over.found, over.allowed
+        );
+    }
+    md.push('\n');
+    for over in &r.over {
+        for f in &over.findings {
+            let _ = writeln!(md, "- `{}:{}` [{}] `{}`", f.file, f.line, f.rule, f.excerpt);
+        }
+    }
+    md.push_str(
+        "\nFix the finding, suppress it in source with \
+         `gapart-lint: allow(<rule>) -- <reason>`, or (for accepted debt) \
+         regenerate the baseline with `--update-baseline`.\n",
+    );
+    use std::io::Write as _;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = f.write_all(md.as_bytes());
+    }
+}

@@ -1,0 +1,148 @@
+//! The rule table: what each rule matches and where it applies.
+//!
+//! Every rule is grounded in a repo invariant the runtime determinism
+//! matrix can only *sample*:
+//!
+//! * `det-hash-iter` — `HashMap`/`HashSet` in result-affecting crates.
+//!   Iteration order is randomized per process, so any hash collection
+//!   whose iteration can reach labels or cuts breaks the bit-identity
+//!   contract. Use `BTreeMap`/`BTreeSet`, or keep the hash map strictly
+//!   probe-only and suppress with the reason.
+//! * `det-wallclock` — `Instant::now`/`SystemTime` outside `crates/bench`.
+//!   Wall-clock reads feeding anything but a bench report make output
+//!   timing-dependent.
+//! * `det-thread-id` — thread-identity APIs (`thread::current`,
+//!   `ThreadId`, rayon's `current_thread_index`, `thread_rng`). Output
+//!   influenced by *which* thread ran is the canonical scheduling leak.
+//! * `cast-truncate` — `as u32` inside the `u32` CSR core (`csr.rs`,
+//!   `coarsen.rs`, `fm.rs`). The PR 7 `SmallCsr` overflow safety rests on
+//!   every `usize → u32` crossing going through the checked
+//!   `from_usize_offsets`-style constructors; a bare `as u32` silently
+//!   truncates past 4 Gi entries.
+//! * `lib-panic` — `unwrap`/`expect`/`panic!` in library code outside
+//!   `#[cfg(test)]` / `debug_assert`. Library crates surface
+//!   `GraphError`/`GaError`; panics belong to bins and tests.
+//! * `suppression-syntax` — a malformed or unknown-rule suppression
+//!   directive. A typo'd suppression must fail loudly, not silently
+//!   leave the finding live (or worse, look suppressed in review).
+
+/// A single lint rule: name, rationale, and the code patterns it flags.
+pub struct Rule {
+    /// Kebab-case rule id, as used in suppressions and the baseline.
+    pub name: &'static str,
+    /// One-line rationale shown by `--list-rules`.
+    pub desc: &'static str,
+    /// Substring patterns matched against stripped code lines.
+    pub patterns: &'static [&'static str],
+}
+
+/// All rules, in reporting order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "det-hash-iter",
+        desc: "HashMap/HashSet in result-affecting code: iteration order can leak into labels/cuts; use BTreeMap/BTreeSet or sort before iterating",
+        patterns: &["HashMap", "HashSet"],
+    },
+    Rule {
+        name: "det-wallclock",
+        desc: "wall-clock read outside crates/bench: Instant::now/SystemTime make output timing-dependent",
+        patterns: &["Instant::now", "SystemTime"],
+    },
+    Rule {
+        name: "det-thread-id",
+        desc: "thread-identity API: output influenced by which thread ran breaks pool-size bit-identity",
+        patterns: &["thread::current", "ThreadId", "current_thread_index", "thread_rng"],
+    },
+    Rule {
+        name: "cast-truncate",
+        desc: "bare `as u32` in the u32 CSR core: silently truncates past u32::MAX; use the checked from_usize_offsets-style crossings",
+        patterns: &["as u32"],
+    },
+    Rule {
+        name: "lib-panic",
+        desc: "unwrap/expect/panic! in library code outside #[cfg(test)]/debug_assert: library crates return typed errors",
+        patterns: &[".unwrap()", ".expect(", "panic!("],
+    },
+    Rule {
+        name: "suppression-syntax",
+        desc: "malformed gapart-lint suppression: must be `gapart-lint: allow(<known-rule>) -- <reason>`",
+        patterns: &[],
+    },
+];
+
+/// Looks a rule up by name.
+pub fn rule_by_name(name: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+/// The three files forming the `u32` CSR core (see `SmallCsr`).
+const CAST_SCOPE: &[&str] = &[
+    "crates/graph/src/csr.rs",
+    "crates/graph/src/coarsen.rs",
+    "crates/graph/src/fm.rs",
+];
+
+/// Whether `rule` applies to the workspace-relative path `relpath`
+/// (forward slashes). Scopes mirror the invariants: bench code measures
+/// time and threads legitimately; the CSR-core cast rule is per-file.
+pub fn in_scope(rule: &str, relpath: &str) -> bool {
+    match rule {
+        "det-hash-iter" | "det-wallclock" | "det-thread-id" => {
+            !relpath.starts_with("crates/bench/")
+        }
+        "cast-truncate" => CAST_SCOPE.contains(&relpath),
+        "lib-panic" => !relpath.starts_with("crates/bench/") && !relpath.starts_with("src/bin/"),
+        "suppression-syntax" => true,
+        _ => false,
+    }
+}
+
+/// Counts non-overlapping occurrences of `pat` in `hay`.
+pub fn count_matches(hay: &str, pat: &str) -> usize {
+    if pat.is_empty() {
+        return 0;
+    }
+    let mut n = 0;
+    let mut rest = hay;
+    while let Some(pos) = rest.find(pat) {
+        n += 1;
+        rest = &rest[pos + pat.len()..];
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rule_name_resolves() {
+        for r in RULES {
+            assert_eq!(rule_by_name(r.name).map(|x| x.name), Some(r.name));
+        }
+        assert!(rule_by_name("no-such-rule").is_none());
+    }
+
+    #[test]
+    fn scopes_follow_the_invariants() {
+        assert!(in_scope("det-hash-iter", "crates/graph/src/geometry.rs"));
+        assert!(!in_scope("det-hash-iter", "crates/bench/src/json.rs"));
+        assert!(in_scope("det-wallclock", "crates/core/src/engine.rs"));
+        assert!(!in_scope(
+            "det-wallclock",
+            "crates/bench/src/bin/benchsuite.rs"
+        ));
+        assert!(in_scope("cast-truncate", "crates/graph/src/fm.rs"));
+        assert!(!in_scope("cast-truncate", "crates/graph/src/builder.rs"));
+        assert!(in_scope("lib-panic", "src/cli.rs"));
+        assert!(!in_scope("lib-panic", "src/bin/gapart-cli.rs"));
+        assert!(!in_scope("lib-panic", "crates/bench/src/runner.rs"));
+    }
+
+    #[test]
+    fn match_counting_is_non_overlapping() {
+        assert_eq!(count_matches("x as u32; y as u32", "as u32"), 2);
+        assert_eq!(count_matches("aaaa", "aa"), 2);
+        assert_eq!(count_matches("abc", ""), 0);
+    }
+}

@@ -1,0 +1,398 @@
+//! Comment/string-stripping tokenizer and `#[cfg(test)]` region masking.
+//!
+//! The scanner deliberately stays at the token level — no `syn`, no full
+//! parse — because the workspace's compat-shim policy forbids pulling a
+//! parser stack, and because every rule this crate enforces is expressible
+//! over stripped source lines. The stripping pass removes exactly the two
+//! things that would otherwise produce false positives: comment text
+//! (rule patterns quoted in docs) and the *contents* of string/char
+//! literals (patterns embedded in messages or tables). Comment text is
+//! preserved separately per line so suppression directives can be read
+//! back out of it.
+
+/// One source line after stripping.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// The line with comments removed and string/char literal contents
+    /// blanked. Delimiting quotes are kept so the code still "reads".
+    pub code: String,
+    /// Concatenated text of every comment that starts or continues on
+    /// this line (without the `//`, `/*`, `*/` markers).
+    pub comment: String,
+    /// Original, unstripped text (for excerpts in findings).
+    pub raw: String,
+    /// True when the line sits inside a `#[cfg(test)]`- or
+    /// `cfg(debug_assertions)`-gated brace block.
+    pub in_test: bool,
+}
+
+/// A whole file, stripped and test-masked, ready for rule matching.
+#[derive(Debug, Clone)]
+pub struct StrippedFile {
+    /// Lines in order; `lines[i]` is source line `i + 1`.
+    pub lines: Vec<Line>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    Block(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Strips `text` and computes the per-line test mask.
+pub fn strip(text: &str) -> StrippedFile {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut cur = Line::default();
+    let mut state = State::Code;
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    let n = chars.len();
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        cur.raw.push(c);
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                match c {
+                    '/' if next == Some('/') => {
+                        // Line comment: the rest of the line is comment
+                        // text, whatever it contains. Doc markers (`///`,
+                        // `//!`) stay out of the comment text but in raw.
+                        let mut j = i + 1;
+                        while j < n && (chars[j] == '/' || chars[j] == '!') {
+                            cur.raw.push(chars[j]);
+                            j += 1;
+                        }
+                        while j < n && chars[j] != '\n' {
+                            cur.comment.push(chars[j]);
+                            cur.raw.push(chars[j]);
+                            j += 1;
+                        }
+                        i = j;
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::Block(1);
+                        cur.raw.push('*');
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        cur.code.push('"');
+                        state = State::Str;
+                    }
+                    'r' if matches!(next, Some('"') | Some('#'))
+                        && raw_str_at(&chars, i + 1).is_some() =>
+                    {
+                        let hashes = raw_str_at(&chars, i + 1).unwrap_or(0);
+                        cur.code.push('r');
+                        for _ in 0..hashes {
+                            cur.code.push('#');
+                            cur.raw.push('#');
+                        }
+                        cur.code.push('"');
+                        cur.raw.push('"');
+                        i += 1 + hashes as usize + 1;
+                        state = State::RawStr(hashes);
+                        continue;
+                    }
+                    'b' if next == Some('"') => {
+                        cur.code.push_str("b\"");
+                        cur.raw.push('"');
+                        i += 2;
+                        state = State::Str;
+                        continue;
+                    }
+                    'b' if next == Some('\'') => {
+                        cur.code.push_str("b'");
+                        cur.raw.push('\'');
+                        i += 2;
+                        state = State::Char;
+                        continue;
+                    }
+                    'b' if next == Some('r') && raw_str_at(&chars, i + 2).is_some() => {
+                        let hashes = raw_str_at(&chars, i + 2).unwrap_or(0);
+                        cur.code.push_str("br");
+                        cur.raw.push('r');
+                        for _ in 0..hashes {
+                            cur.code.push('#');
+                            cur.raw.push('#');
+                        }
+                        cur.code.push('"');
+                        cur.raw.push('"');
+                        i += 2 + hashes as usize + 1;
+                        state = State::RawStr(hashes);
+                        continue;
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime: a backslash makes it a
+                        // literal; otherwise it is a literal only when the
+                        // char after next closes it (`'a'`).
+                        if next == Some('\\')
+                            || (chars.get(i + 2).copied() == Some('\'') && next != Some('\''))
+                        {
+                            cur.code.push('\'');
+                            state = State::Char;
+                        } else {
+                            cur.code.push('\'');
+                        }
+                    }
+                    _ => cur.code.push(c),
+                }
+            }
+            State::Block(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    cur.raw.push('/');
+                    i += 2;
+                    state = if depth == 1 {
+                        // Leave a space so tokens on either side of the
+                        // comment do not fuse.
+                        cur.code.push(' ');
+                        State::Code
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    cur.raw.push('*');
+                    i += 2;
+                    state = State::Block(depth + 1);
+                    continue;
+                }
+                cur.comment.push(c);
+            }
+            State::Str => {
+                if c == '\\' {
+                    // Skip the escaped char — unless it is a newline
+                    // (line-continuation), which must still fall through
+                    // to the line tracker above.
+                    if let Some(nc) = chars.get(i + 1) {
+                        if *nc != '\n' {
+                            cur.raw.push(*nc);
+                            i += 2;
+                            continue;
+                        }
+                    }
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Code;
+                }
+                // String contents are dropped from `code`.
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i + 1, hashes) {
+                    cur.code.push('"');
+                    for k in 0..hashes as usize {
+                        cur.code.push('#');
+                        cur.raw.push(chars[i + 1 + k]);
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                    continue;
+                }
+            }
+            State::Char => {
+                if c == '\\' {
+                    if let Some(nc) = chars.get(i + 1) {
+                        if *nc != '\n' {
+                            cur.raw.push(*nc);
+                            i += 2;
+                            continue;
+                        }
+                    }
+                } else if c == '\'' {
+                    cur.code.push('\'');
+                    state = State::Code;
+                }
+            }
+        }
+        i += 1;
+    }
+    if !cur.raw.is_empty() || !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    mask_test_regions(&mut lines);
+    StrippedFile { lines }
+}
+
+/// If `chars[at..]` begins `#*"` (a raw-string opener minus the leading
+/// `r`), returns the number of hashes.
+fn raw_str_at(chars: &[char], at: usize) -> Option<u32> {
+    let mut j = at;
+    let mut hashes = 0u32;
+    while chars.get(j).copied() == Some('#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j).copied() == Some('"')).then_some(hashes)
+}
+
+/// Whether `hashes` `#` chars follow position `at` (raw-string closer).
+fn closes_raw(chars: &[char], at: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| chars.get(at + k).copied() == Some('#'))
+}
+
+/// Marks lines inside `#[cfg(test)]`- / `cfg(debug_assertions)`-gated
+/// brace blocks. Token-level heuristic: the attribute (or macro test)
+/// arms a pending flag; the next `{` at statement level opens the gated
+/// region, which ends when brace depth returns to its opening value. A
+/// `;` before any `{` disarms the flag (braceless gated item).
+fn mask_test_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    let mut pending = false;
+    // Depths at which a gated region opened (regions can nest).
+    let mut gates: Vec<i64> = Vec::new();
+    for line in lines.iter_mut() {
+        let mut in_test = !gates.is_empty();
+        if line.code.contains("cfg(test)") || line.code.contains("debug_assertions") {
+            pending = true;
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if pending {
+                        gates.push(depth);
+                        pending = false;
+                        in_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if gates.last().copied() == Some(depth) {
+                        gates.pop();
+                    }
+                }
+                ';' => pending = false,
+                _ => {}
+            }
+        }
+        line.in_test = in_test || !gates.is_empty();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(text: &str) -> Vec<String> {
+        strip(text).lines.iter().map(|l| l.code.clone()).collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped_but_kept_as_comment_text() {
+        let f = strip("let x = 1; // HashMap here\nlet y = 2;\n");
+        assert_eq!(f.lines[0].code, "let x = 1; ");
+        assert_eq!(f.lines[0].comment, " HashMap here");
+        assert_eq!(f.lines[1].code, "let y = 2;");
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let f = strip("/// calls .unwrap() in the example\nfn f() {}\n");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].comment.contains("unwrap"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let f = strip("let s = \"HashMap // not a comment\"; let t = 1;\n");
+        assert_eq!(f.lines[0].code, "let s = \"\"; let t = 1;");
+        assert!(f.lines[0].comment.is_empty());
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_the_string() {
+        let f = strip(r#"let s = "a\"HashMap\"b"; x();"#);
+        assert_eq!(f.lines[0].code, "let s = \"\"; x();");
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = strip("let s = r#\"Instant::now() \"quoted\" \"#; y();\n");
+        assert_eq!(f.lines[0].code, "let s = r#\"\"#; y();");
+        let f = strip("let s = r\"SystemTime\"; y();\n");
+        assert_eq!(f.lines[0].code, "let s = r\"\"; y();");
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars_are_blanked() {
+        let f = strip("let s = b\"panic!(\"; let c = b'x';\n");
+        assert_eq!(f.lines[0].code, "let s = b\"\"; let c = b'';");
+    }
+
+    #[test]
+    fn char_literals_are_blanked_but_lifetimes_survive() {
+        let f = strip("fn f<'a>(x: &'a str) { let q = '\"'; let z = 'y'; }\n");
+        assert_eq!(
+            f.lines[0].code,
+            "fn f<'a>(x: &'a str) { let q = ''; let z = ''; }"
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_strip_fully() {
+        let f = strip("a /* outer /* inner */ still comment */ b\n");
+        assert_eq!(f.lines[0].code.replace(' ', ""), "ab");
+        assert!(f.lines[0].comment.contains("inner"));
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines() {
+        let v = codes("x(); /* HashMap\n SystemTime\n */ y();\n");
+        assert_eq!(v[0], "x(); ");
+        assert_eq!(v[1], "");
+        assert_eq!(v[2].trim_start(), "y();");
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let f = strip(src);
+        let mask: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(mask, vec![false, false, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_does_not_poison_the_rest() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() { body(); }\n";
+        let f = strip(src);
+        assert!(f.lines.iter().all(|l| !l.in_test));
+    }
+
+    #[test]
+    fn cfg_debug_assertions_blocks_are_masked() {
+        let src = "fn f() {\n    if cfg!(debug_assertions) {\n        check().unwrap();\n    }\n    work();\n}\n";
+        let f = strip(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[2].in_test);
+        assert!(!f.lines[4].in_test);
+    }
+
+    #[test]
+    fn strings_with_braces_do_not_break_masking() {
+        let src =
+            "#[cfg(test)]\nmod t {\n    const S: &str = \"}}}{\";\n    fn g() {}\n}\nfn lib() {}\n";
+        let f = strip(src);
+        assert!(f.lines[3].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn raw_text_is_preserved_per_line() {
+        let src = "let s = \"keep\"; // tail\n";
+        let f = strip(src);
+        assert_eq!(f.lines[0].raw, "let s = \"keep\"; // tail");
+    }
+}

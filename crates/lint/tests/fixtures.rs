@@ -1,0 +1,175 @@
+//! Fixture-based self-tests: known-bad snippets must produce exactly the
+//! expected findings, clean snippets must be silent, suppressions must
+//! silence (or, malformed, become findings), and the baseline must
+//! ratchet in both directions. The lint is itself regression-pinned.
+
+use gapart_lint::baseline::Baseline;
+use gapart_lint::engine::{apply_baseline, baseline_from_findings, scan_source};
+
+/// Loads a fixture and scans it under a pretend workspace path (the path
+/// selects which rule scopes apply — fixtures impersonate library files).
+fn scan_fixture(name: &str, pretend_path: &str) -> Vec<(usize, String)> {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    scan_source(pretend_path, &text)
+        .into_iter()
+        .map(|f| (f.line, f.rule.to_string()))
+        .collect()
+}
+
+/// A library path inside every rule's scope (it is one of the three
+/// cast-truncate core files, and core files get all det rules too).
+const FULL_SCOPE: &str = "crates/graph/src/fm.rs";
+
+#[test]
+fn det_hash_iter_bad_is_flagged_finding_by_finding() {
+    assert_eq!(
+        scan_fixture("det_hash_iter_bad.rs", FULL_SCOPE),
+        vec![
+            (3, "det-hash-iter".into()),
+            (4, "det-hash-iter".into()),
+            (7, "det-hash-iter".into()),
+            (7, "det-hash-iter".into()),
+            (16, "det-hash-iter".into()),
+        ]
+    );
+}
+
+#[test]
+fn det_hash_iter_clean_is_silent() {
+    assert_eq!(scan_fixture("det_hash_iter_clean.rs", FULL_SCOPE), vec![]);
+}
+
+#[test]
+fn det_wallclock_bad_is_flagged() {
+    assert_eq!(
+        scan_fixture("det_wallclock_bad.rs", FULL_SCOPE),
+        vec![
+            (3, "det-wallclock".into()),
+            (6, "det-wallclock".into()),
+            (7, "det-wallclock".into()),
+        ]
+    );
+}
+
+#[test]
+fn det_wallclock_clean_is_silent() {
+    assert_eq!(scan_fixture("det_wallclock_clean.rs", FULL_SCOPE), vec![]);
+}
+
+#[test]
+fn det_wallclock_is_legal_in_bench() {
+    assert_eq!(
+        scan_fixture("det_wallclock_bad.rs", "crates/bench/src/runner.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn det_thread_id_bad_is_flagged() {
+    assert_eq!(
+        scan_fixture("det_thread_id_bad.rs", FULL_SCOPE),
+        vec![(4, "det-thread-id".into()), (10, "det-thread-id".into())]
+    );
+}
+
+#[test]
+fn det_thread_id_clean_is_silent() {
+    assert_eq!(scan_fixture("det_thread_id_clean.rs", FULL_SCOPE), vec![]);
+}
+
+#[test]
+fn cast_truncate_bad_is_flagged_only_in_the_u32_core() {
+    assert_eq!(
+        scan_fixture("cast_truncate_bad.rs", "crates/graph/src/csr.rs"),
+        vec![(5, "cast-truncate".into()), (9, "cast-truncate".into())]
+    );
+    // The same text outside the core files is not cast-truncate's business.
+    assert_eq!(
+        scan_fixture("cast_truncate_bad.rs", "crates/graph/src/builder.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn cast_truncate_clean_is_silent() {
+    assert_eq!(
+        scan_fixture("cast_truncate_clean.rs", "crates/graph/src/csr.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn lib_panic_bad_is_flagged() {
+    assert_eq!(
+        scan_fixture("lib_panic_bad.rs", FULL_SCOPE),
+        vec![
+            (4, "lib-panic".into()),
+            (8, "lib-panic".into()),
+            (12, "lib-panic".into()),
+        ]
+    );
+}
+
+#[test]
+fn lib_panic_clean_is_silent() {
+    assert_eq!(scan_fixture("lib_panic_clean.rs", FULL_SCOPE), vec![]);
+}
+
+#[test]
+fn reasoned_suppressions_silence_every_rule() {
+    assert_eq!(scan_fixture("suppressed.rs", FULL_SCOPE), vec![]);
+}
+
+#[test]
+fn malformed_suppressions_are_findings_and_do_not_suppress() {
+    assert_eq!(
+        scan_fixture("suppression_bad.rs", FULL_SCOPE),
+        vec![
+            (5, "suppression-syntax".into()),
+            (6, "lib-panic".into()),
+            (10, "suppression-syntax".into()),
+            (11, "lib-panic".into()),
+        ]
+    );
+}
+
+#[test]
+fn baseline_ratchet_blocks_growth_and_reports_shrink() {
+    let path = format!(
+        "{}/tests/fixtures/lib_panic_bad.rs",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let text = std::fs::read_to_string(path).unwrap();
+    let findings = scan_source(FULL_SCOPE, &text);
+    assert_eq!(findings.len(), 3);
+
+    // Exactly-baselined debt passes.
+    let exact = baseline_from_findings(&findings);
+    let r = apply_baseline(&findings, &exact);
+    assert!(r.ok());
+    assert_eq!((r.total, r.baselined), (3, 3));
+    assert!(r.stale.is_empty());
+
+    // A fixture-style injection — one more panic — must fail the ratchet.
+    let grown = format!("{text}\npub fn extra(x: Option<u32>) -> u32 {{ x.unwrap() }}\n");
+    let more = scan_source(FULL_SCOPE, &grown);
+    assert_eq!(more.len(), 4);
+    let r = apply_baseline(&more, &exact);
+    assert!(!r.ok());
+    assert_eq!(r.over.len(), 1);
+    assert_eq!((r.over[0].found, r.over[0].allowed), (4, 3));
+
+    // Paying debt down doesn't fail, it reports the stale allowance.
+    let fewer = &findings[..2];
+    let r = apply_baseline(fewer, &exact);
+    assert!(r.ok());
+    assert_eq!(
+        r.stale,
+        vec![(FULL_SCOPE.to_string(), "lib-panic".to_string(), 2, 3)]
+    );
+
+    // The committed-format round trip preserves the ratchet exactly.
+    let reparsed = Baseline::parse(&exact.to_toml()).unwrap();
+    assert_eq!(reparsed, exact);
+}

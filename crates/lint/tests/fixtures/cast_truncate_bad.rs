@@ -1,0 +1,10 @@
+//! Fixture: cast-truncate violations — bare `as u32` in the u32 core.
+
+pub fn pack_offsets(xadj: &[usize]) -> Vec<u32> {
+    // Silently truncates past u32::MAX entries.
+    xadj.iter().map(|&x| x as u32).collect()
+}
+
+pub fn half_edges(total: usize) -> u32 {
+    (total / 2) as u32
+}

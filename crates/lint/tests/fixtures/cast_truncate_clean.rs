@@ -1,0 +1,14 @@
+//! Fixture: cast-truncate clean — checked crossings into the u32 core.
+
+pub struct Overflow {
+    pub entries: usize,
+}
+
+pub fn pack_offsets(xadj: &[usize]) -> Result<Vec<u32>, Overflow> {
+    let entries = xadj.last().copied().unwrap_or(0);
+    if entries > u32::MAX as usize {
+        return Err(Overflow { entries });
+    }
+    // Widening and in-range-by-construction conversions stay legal.
+    Ok(xadj.iter().map(|&x| u32::try_from(x).unwrap_or(u32::MAX)).collect())
+}

@@ -1,0 +1,17 @@
+//! Fixture: det-hash-iter violations — hash collections in library code.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn count_labels(labels: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &l in labels {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    // Iteration order reaches the return value: the classic leak.
+    counts.into_iter().map(|(l, c)| (l, c)).collect()
+}
+
+pub fn distinct(labels: &[u32]) -> usize {
+    labels.iter().collect::<HashSet<_>>().len()
+}

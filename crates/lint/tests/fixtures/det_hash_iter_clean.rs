@@ -1,0 +1,24 @@
+//! Fixture: det-hash-iter clean — ordered collections in library code,
+//! hash collections only under `#[cfg(test)]`.
+
+use std::collections::BTreeMap;
+
+pub fn count_labels(labels: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+    for &l in labels {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn counts() {
+        // HashSet is fine in tests.
+        let s: HashSet<u32> = [1, 2, 2].into_iter().collect();
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: det-thread-id violations — thread identity reaching output.
+
+pub fn worker_tag() -> u64 {
+    let id = std::thread::current().id();
+    // ThreadId influencing a result value: the canonical scheduling leak.
+    format!("{id:?}").len() as u64
+}
+
+pub fn shard_of() -> usize {
+    rayon::current_thread_index().unwrap_or(0)
+}

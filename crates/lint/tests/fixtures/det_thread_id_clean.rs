@@ -1,0 +1,5 @@
+//! Fixture: det-thread-id clean — work identity comes from the data.
+
+pub fn shard_of(item_index: usize, shards: usize) -> usize {
+    item_index % shards.max(1)
+}

@@ -1,0 +1,9 @@
+//! Fixture: det-wallclock violations — wall-clock reads in library code.
+
+use std::time::{Instant, SystemTime};
+
+pub fn seed_from_clock() -> u64 {
+    let t = Instant::now();
+    let _ = SystemTime::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,16 @@
+//! Fixture: det-wallclock clean — time arrives as data, not as a read.
+
+pub fn budget_remaining(budget_ns: u64, spent_ns: u64) -> u64 {
+    budget_ns.saturating_sub(spent_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t = Instant::now();
+        assert!(t.elapsed().as_secs() < 1);
+    }
+}

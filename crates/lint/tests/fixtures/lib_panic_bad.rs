@@ -1,0 +1,13 @@
+//! Fixture: lib-panic violations — panics on library paths.
+
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("caller passed garbage")
+}
+
+pub fn explode(kind: &str) {
+    panic!("unsupported kind: {kind}");
+}

@@ -1,0 +1,24 @@
+//! Fixture: lib-panic clean — typed errors outside, panics confined to
+//! tests, debug assertions, docs, and strings.
+
+/// Calling `.unwrap()` in a doc example is fine — comments are stripped.
+pub fn head(xs: &[u32]) -> Option<u32> {
+    debug_assert!(!xs.is_empty(), "caller should pre-check; panic!( here is exempt");
+    xs.first().copied()
+}
+
+pub fn parse(s: &str) -> Result<u32, String> {
+    // The pattern inside a string literal must not fire either:
+    s.parse().map_err(|_| "not .unwrap() material".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(parse("7").unwrap(), 7);
+        assert_eq!(head(&[1]).unwrap(), 1);
+    }
+}

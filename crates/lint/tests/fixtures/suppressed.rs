@@ -1,0 +1,34 @@
+//! Fixture: one violation per rule, every one suppressed with a reasoned
+//! allow — the whole file must scan clean.
+
+use std::collections::HashMap; // gapart-lint: allow(det-hash-iter) -- probe-only cache, read via get() exclusively
+
+// gapart-lint: allow(det-hash-iter) -- probe-only access, no iteration
+pub fn lookup(m: &HashMap<u32, u32>, k: u32) -> Option<u32> {
+    m.get(&k).copied()
+}
+
+pub fn trace_epoch() -> u64 {
+    // gapart-lint: allow(det-wallclock) -- diagnostic-only timestamp, never reaches labels or cuts
+    std::time::SystemTime::now();
+    0
+}
+
+pub fn pool_width() -> usize {
+    // gapart-lint: allow(det-thread-id) -- pool sizing only; the result is order-independent
+    rayon::current_thread_index().map_or(1, |_| 2)
+}
+
+pub fn pack(x: usize) -> u32 {
+    debug_checked(x);
+    x as u32 // gapart-lint: allow(cast-truncate) -- bounded by the builder's AdjacencyOverflow check upstream
+}
+
+fn debug_checked(x: usize) {
+    assert!(x <= u32::MAX as usize);
+}
+
+pub fn must(xs: &[u32]) -> u32 {
+    // gapart-lint: allow(lib-panic) -- invariant: callers guarantee non-empty, enforced at construction
+    *xs.first().unwrap()
+}

@@ -1,0 +1,12 @@
+//! Fixture: malformed suppressions — each directive is itself a finding,
+//! and the violation it failed to cover stays live.
+
+pub fn missing_reason(xs: &[u32]) -> u32 {
+    // gapart-lint: allow(lib-panic)
+    *xs.first().unwrap()
+}
+
+pub fn unknown_rule(xs: &[u32]) -> u32 {
+    // gapart-lint: allow(no-such-rule) -- confidently wrong
+    *xs.first().unwrap()
+}

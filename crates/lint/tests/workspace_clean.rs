@@ -1,0 +1,46 @@
+//! End-to-end pin: the real workspace, scanned against the committed
+//! baseline, has no findings over budget — `cargo test` proves the same
+//! thing CI's lint job does, so the ratchet can't rot between CI edits.
+
+use gapart_lint::baseline::Baseline;
+use gapart_lint::engine::{apply_baseline, scan_workspace};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn workspace_scan_has_no_findings_over_baseline() {
+    let root = workspace_root();
+    let findings = scan_workspace(root).expect("workspace scan");
+    let text =
+        std::fs::read_to_string(root.join("lint-baseline.toml")).expect("committed baseline");
+    let baseline = Baseline::parse(&text).expect("baseline parses");
+    let ratchet = apply_baseline(&findings, &baseline);
+    assert!(
+        ratchet.ok(),
+        "findings over baseline (fix them, suppress with a reasoned allow, or \
+         regenerate via --update-baseline): {:#?}",
+        ratchet.over
+    );
+    // The committed baseline must also be tight: stale allowances mean
+    // debt was paid but the ratchet wasn't lowered.
+    assert!(
+        ratchet.stale.is_empty(),
+        "stale baseline entries — run `cargo run -p gapart-lint -- --workspace \
+         --update-baseline`: {:?}",
+        ratchet.stale
+    );
+}
+
+#[test]
+fn the_lint_crate_itself_is_debt_free() {
+    let root = workspace_root();
+    let findings = scan_workspace(root).expect("workspace scan");
+    let own: Vec<_> = findings
+        .iter()
+        .filter(|f| f.file.starts_with("crates/lint/"))
+        .collect();
+    assert!(own.is_empty(), "lint findings in the lint crate: {own:#?}");
+}
