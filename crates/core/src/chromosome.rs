@@ -34,6 +34,7 @@ impl Chromosome {
     /// Panics if any gene is `≥ num_parts` — operators never produce such
     /// genes, so this indicates an internal bug.
     pub fn into_partition(self, num_parts: u32) -> Partition {
+        // gapart-lint: allow(lib-panic) -- genes come only from operators that write labels < num_parts; documented as a bug indicator above
         Partition::new(self.genes, num_parts).expect("operators keep genes in range")
     }
 

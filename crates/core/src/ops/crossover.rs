@@ -146,12 +146,14 @@ impl CrossoverOp {
             CrossoverOp::Knux | CrossoverOp::Dknux => {
                 let reference = ctx
                     .reference
+                    // gapart-lint: allow(lib-panic) -- API misuse contract pinned by the should_panic test; engine always threads a reference for KNUX ops
                     .expect("KNUX/DKNUX requires a reference solution");
                 knux_crossover(a, b, ctx.graph, reference, 0.0, 0.5, rng)
             }
             CrossoverOp::DknuxFitness(percent) => {
                 let reference = ctx
                     .reference
+                    // gapart-lint: allow(lib-panic) -- API misuse contract pinned by the should_panic test; engine always threads a reference for KNUX ops
                     .expect("KNUX/DKNUX requires a reference solution");
                 let w = f64::from(*percent).clamp(0.0, 100.0) / 100.0;
                 let fitness_term = match ctx.parent_fitness {

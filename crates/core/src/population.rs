@@ -244,10 +244,10 @@ impl Population {
     pub fn top_k(&self, k: usize) -> Vec<usize> {
         let mut order: Vec<usize> = (0..self.len()).collect();
         order.sort_by(|&a, &b| {
+            // total_cmp: deterministic total order, no NaN panic.
             self.individuals[b]
                 .fitness
-                .partial_cmp(&self.individuals[a].fitness)
-                .expect("finite fitness")
+                .total_cmp(&self.individuals[a].fitness)
         });
         order.truncate(k);
         order
@@ -261,10 +261,10 @@ impl Population {
         let k = incoming.len().min(self.len());
         let mut order: Vec<usize> = (0..self.len()).collect();
         order.sort_by(|&a, &b| {
+            // total_cmp: deterministic total order, no NaN panic.
             self.individuals[a]
                 .fitness
-                .partial_cmp(&self.individuals[b].fitness)
-                .expect("finite fitness")
+                .total_cmp(&self.individuals[b].fitness)
         });
         for (slot, ind) in order.into_iter().zip(incoming.into_iter().take(k)) {
             self.individuals[slot] = ind;

@@ -80,8 +80,8 @@ impl SelectionScheme {
             SelectionScheme::Rank => {
                 let n = fitness.len();
                 let mut order: Vec<usize> = (0..n).collect();
-                order
-                    .sort_by(|&a, &b| fitness[a].partial_cmp(&fitness[b]).expect("finite fitness"));
+                // total_cmp: deterministic total order, no NaN panic.
+                order.sort_by(|&a, &b| fitness[a].total_cmp(&fitness[b]));
                 // Rank weights 1..=n (worst..best); total n(n+1)/2.
                 let total = n * (n + 1) / 2;
                 let mut ball = rng.gen_range(0..total) as i64;

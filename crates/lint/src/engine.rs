@@ -66,14 +66,17 @@ fn parse_directive(comment: &str) -> Option<Directive> {
     }
 }
 
-/// Scans already-stripped source. Separated from I/O so fixtures can be
-/// scanned under any pretend path (the path selects the rule scopes).
-pub fn scan_stripped(relpath: &str, file: &StrippedFile) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    // allow-sets per line: suppressions attach to their own line (when it
-    // has code) or to the following line (comment-only lines).
+/// Builds the per-line allow-sets for a stripped file: suppressions
+/// attach to their own line (when it has code) or to the following line
+/// (comment-only lines). Malformed directives come back as
+/// `suppression-syntax` findings.
+pub fn collect_allows(
+    relpath: &str,
+    file: &StrippedFile,
+) -> (Vec<Vec<&'static str>>, Vec<Finding>) {
     let n = file.lines.len();
     let mut allows: Vec<Vec<&'static str>> = vec![Vec::new(); n];
+    let mut findings = Vec::new();
     for (i, line) in file.lines.iter().enumerate() {
         if line.comment.trim().is_empty() {
             continue;
@@ -98,7 +101,16 @@ pub fn scan_stripped(relpath: &str, file: &StrippedFile) -> Vec<Finding> {
             _ => {}
         }
     }
+    (allows, findings)
+}
 
+/// The per-line substring rules over one stripped file.
+fn line_rule_findings(
+    relpath: &str,
+    file: &StrippedFile,
+    allows: &[Vec<&'static str>],
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
     for (i, line) in file.lines.iter().enumerate() {
         if line.in_test {
             continue;
@@ -130,6 +142,163 @@ pub fn scan_stripped(relpath: &str, file: &StrippedFile) -> Vec<Finding> {
             }
         }
     }
+    findings
+}
+
+/// Substrings that open a parallel-iterator chain (rayon-shim API).
+const PAR_TRIGGERS: &[&str] = &[".par_iter", ".into_par_iter", ".par_chunks"];
+
+/// Float reductions whose result depends on split order.
+const FLOAT_REDUCE: &[&str] = &[
+    ".sum::<f32",
+    ".sum::<f64",
+    ".fold(0.0",
+    ".fold(0f32",
+    ".fold(0f64",
+];
+
+/// The parallel-region rules (`par-side-effect`, `float-reduce-order`):
+/// finds each parallel-iterator chain, extends the region while the
+/// chain stays open (unbalanced brackets or a continuation line starting
+/// with `.`), and flags shared mutation / float reductions inside it.
+///
+/// Closure-local state is exempt: names bound by `let mut` inside the
+/// region or appearing in a closure's `|...|` parameter list may be
+/// taken by `&mut` — that is the frozen-scan idiom's scratch space, not
+/// a scheduling leak.
+fn par_region_findings(
+    relpath: &str,
+    file: &StrippedFile,
+    allows: &[Vec<&'static str>],
+) -> Vec<Finding> {
+    let n = file.lines.len();
+    let mut region = vec![false; n];
+    let mut i = 0;
+    while i < n {
+        let code = &file.lines[i].code;
+        if file.lines[i].in_test || !PAR_TRIGGERS.iter().any(|t| code.contains(t)) {
+            i += 1;
+            continue;
+        }
+        // Extend: bracket balance below zero never happens at a chain
+        // start; the region runs while depth > 0 or the next line
+        // continues the chain with a leading `.`.
+        let mut depth: i64 = 0;
+        let mut j = i;
+        loop {
+            region[j] = true;
+            for c in file.lines[j].code.chars() {
+                match c {
+                    '(' | '[' | '{' => depth += 1,
+                    ')' | ']' | '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            let next = j + 1;
+            if next >= n {
+                break;
+            }
+            let cont = file.lines[next].code.trim_start().starts_with('.');
+            if depth > 0 || cont {
+                j = next;
+            } else {
+                break;
+            }
+        }
+        i = j + 1;
+    }
+
+    // Names exempt from the &mut-capture check: closure params and
+    // region-local `let mut` bindings.
+    let mut locals: Vec<String> = Vec::new();
+    for (k, line) in file.lines.iter().enumerate() {
+        if !region[k] {
+            continue;
+        }
+        let code = &line.code;
+        let mut rest = code.as_str();
+        while let Some(pos) = rest.find("let mut ") {
+            rest = &rest[pos + "let mut ".len()..];
+            if let Some(name) = leading_ident(rest) {
+                locals.push(name);
+            }
+        }
+        // `|a, (b, c)| ...` — every ident between a pair of `|` counts.
+        if let Some(open) = code.find('|') {
+            if let Some(close_rel) = code[open + 1..].find('|') {
+                let params = &code[open + 1..open + 1 + close_rel];
+                let mut cur = String::new();
+                for c in params.chars().chain(std::iter::once(',')) {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        cur.push(c);
+                    } else if !cur.is_empty() {
+                        locals.push(std::mem::take(&mut cur));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    for (k, line) in file.lines.iter().enumerate() {
+        if !region[k] || line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        if in_scope("par-side-effect", relpath) && !allows[k].contains(&"par-side-effect") {
+            let locking = code.contains(".lock(") || code.contains(".fetch_");
+            let mut mut_capture = false;
+            let mut rest = code.as_str();
+            while let Some(pos) = rest.find("&mut ") {
+                rest = &rest[pos + "&mut ".len()..];
+                if let Some(name) = leading_ident(rest) {
+                    if !locals.contains(&name) {
+                        mut_capture = true;
+                    }
+                }
+            }
+            if locking || mut_capture {
+                findings.push(Finding {
+                    file: relpath.to_string(),
+                    line: k + 1,
+                    rule: "par-side-effect",
+                    excerpt: excerpt_of(&line.raw),
+                });
+            }
+        }
+        if in_scope("float-reduce-order", relpath)
+            && !allows[k].contains(&"float-reduce-order")
+            && FLOAT_REDUCE.iter().any(|p| code.contains(p))
+        {
+            findings.push(Finding {
+                file: relpath.to_string(),
+                line: k + 1,
+                rule: "float-reduce-order",
+                excerpt: excerpt_of(&line.raw),
+            });
+        }
+    }
+    findings
+}
+
+/// The identifier starting at the head of `s`, if any.
+fn leading_ident(s: &str) -> Option<String> {
+    let name: String = s
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// Scans already-stripped source with the *shallow* (per-line +
+/// parallel-region) rules. Separated from I/O so fixtures can be
+/// scanned under any pretend path (the path selects the rule scopes).
+/// Cross-file propagation (`panic-reach`, `det-taint`) lives in
+/// [`scan_files`].
+pub fn scan_stripped(relpath: &str, file: &StrippedFile) -> Vec<Finding> {
+    let (allows, mut findings) = collect_allows(relpath, file);
+    findings.extend(line_rule_findings(relpath, file, &allows));
+    findings.extend(par_region_findings(relpath, file, &allows));
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     findings
 }
@@ -137,6 +306,48 @@ pub fn scan_stripped(relpath: &str, file: &StrippedFile) -> Vec<Finding> {
 /// Strips and scans one source text under a pretend workspace path.
 pub fn scan_source(relpath: &str, text: &str) -> Vec<Finding> {
     scan_stripped(relpath, &strip(text))
+}
+
+/// The deep scan: shallow rules per file, then item extraction, the
+/// cross-file call graph, and both taint propagation passes. A
+/// `panic-reach` finding sits on the `pub fn`'s declaration line and a
+/// `det-taint` finding on the seed line, so suppressions there apply.
+pub fn scan_files(inputs: &[(String, String)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut extracted = Vec::new();
+    let mut panic_seeds = Vec::new();
+    let mut det_seeds = Vec::new();
+    let mut allows_by_file: BTreeMap<&str, Vec<Vec<&'static str>>> = BTreeMap::new();
+    for (rel, text) in inputs {
+        let stripped = strip(text);
+        let (allows, mut supp) = collect_allows(rel, &stripped);
+        findings.append(&mut supp);
+        findings.extend(line_rule_findings(rel, &stripped, &allows));
+        findings.extend(par_region_findings(rel, &stripped, &allows));
+        panic_seeds.extend(crate::taint::panic_seeds(rel, &stripped, &allows));
+        det_seeds.extend(crate::taint::det_seeds(rel, &stripped, &allows));
+        extracted.push(crate::items::extract(rel, &stripped));
+        allows_by_file.insert(rel, allows);
+    }
+    let graph = crate::callgraph::build(&extracted);
+    let allowed = |f: &Finding| {
+        allows_by_file
+            .get(f.file.as_str())
+            .and_then(|a| a.get(f.line.wrapping_sub(1)))
+            .is_some_and(|rules| rules.contains(&f.rule))
+    };
+    findings.extend(
+        crate::taint::panic_reach(&graph, &panic_seeds)
+            .into_iter()
+            .filter(|f| !allowed(f)),
+    );
+    findings.extend(
+        crate::taint::det_taint(&graph, &det_seeds)
+            .into_iter()
+            .filter(|f| !allowed(f)),
+    );
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings
 }
 
 fn excerpt_of(raw: &str) -> String {
@@ -205,14 +416,14 @@ fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<(String, PathBuf)>) -> std:
     Ok(())
 }
 
-/// Scans every workspace source file and returns all findings.
+/// Scans every workspace source file — shallow rules plus the
+/// cross-file call-graph passes — and returns all findings.
 pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+    let mut inputs = Vec::new();
     for (rel, path) in workspace_files(root)? {
-        let text = std::fs::read_to_string(&path)?;
-        findings.extend(scan_source(&rel, &text));
+        inputs.push((rel, std::fs::read_to_string(&path)?));
     }
-    Ok(findings)
+    Ok(scan_files(&inputs))
 }
 
 /// Outcome of comparing findings against the baseline.

@@ -1,0 +1,746 @@
+//! Item-level extraction on top of the stripping tokenizer: `fn` items
+//! (name, module path, brace span, `pub`-ness, test masking, enclosing
+//! `impl`/`trait` type), the call sites inside each body, and the file's
+//! `use` imports.
+//!
+//! Still no full parser — the extractor re-tokenizes stripped code lines
+//! (strings/comments already blanked by [`crate::scan::strip`], so brace
+//! counting is reliable) and runs a single stack-machine pass. It is
+//! deliberately best-effort: the consumers ([`crate::callgraph`],
+//! [`crate::taint`]) treat unresolved names as absent edges and
+//! multiply-resolved names as ambiguous edges, so extraction errors
+//! degrade coverage, never correctness of the build.
+
+use crate::scan::StrippedFile;
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// Workspace-relative file path (forward slashes).
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// 1-based inclusive body line span (brace to brace); `None` for
+    /// body-less trait method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Whether the item carries a `pub` visibility (any form).
+    pub is_pub: bool,
+    /// Whether the declaration sits in a `#[cfg(test)]`-masked region.
+    pub in_test: bool,
+    /// Module path from the crate root, derived from the file path plus
+    /// nested `mod` blocks (crate dir name without the `gapart-` prefix,
+    /// e.g. `["graph", "fm"]`).
+    pub mods: Vec<String>,
+    /// Enclosing `impl`/`trait` self type, when any (`impl X for Y`
+    /// records `Y`).
+    pub self_ty: Option<String>,
+    /// Call sites inside the body, in source order.
+    pub calls: Vec<CallSite>,
+}
+
+impl FnItem {
+    /// Fully qualified path segments: modules, self type, name.
+    pub fn qual(&self) -> Vec<String> {
+        let mut q = self.mods.clone();
+        if let Some(t) = &self.self_ty {
+            q.push(t.clone());
+        }
+        q.push(self.name.clone());
+        q
+    }
+
+    /// Human-readable qualified name for witness paths.
+    pub fn display(&self) -> String {
+        self.qual().join("::")
+    }
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// 1-based line.
+    pub line: usize,
+    /// Path segments as written: `refine(` → `["refine"]`,
+    /// `fm::refine(` → `["fm", "refine"]`, `.refine(` → `["refine"]`.
+    pub segments: Vec<String>,
+    /// True for method-call syntax (`.name(`): no receiver type is
+    /// known, so resolution is by name only.
+    pub method: bool,
+}
+
+/// Extraction result for one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileItems {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// Functions in declaration order.
+    pub fns: Vec<FnItem>,
+    /// `use` imports: local name → normalized path segments.
+    pub uses: Vec<(String, Vec<String>)>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    PathSep,
+    Sym(char),
+}
+
+fn tokenize(code: &str) -> Vec<Tok> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok::Ident(chars[start..i].iter().collect()));
+            continue;
+        }
+        if c == ':' && chars.get(i + 1) == Some(&':') {
+            toks.push(Tok::PathSep);
+            i += 2;
+            continue;
+        }
+        if !c.is_whitespace() && !c.is_ascii_digit() {
+            toks.push(Tok::Sym(c));
+        } else if c.is_ascii_digit() {
+            // Skip number literals wholesale (incl. suffixes) so `0f64`
+            // does not read as an ident.
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '.' || chars[i] == '_')
+            {
+                i += 1;
+            }
+            continue;
+        }
+        i += 1;
+    }
+    toks
+}
+
+/// Module path implied by a workspace-relative file path.
+pub fn file_mods(rel: &str) -> Vec<String> {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let mut mods = Vec::new();
+    let rest: &[&str] = if parts.first() == Some(&"crates") && parts.len() > 3 {
+        mods.push(parts[1].to_string());
+        &parts[3..] // skip crates/<name>/src
+    } else if parts.first() == Some(&"src") {
+        mods.push("gapart".to_string());
+        &parts[1..]
+    } else {
+        &parts[..]
+    };
+    for (i, p) in rest.iter().enumerate() {
+        let last = i + 1 == rest.len();
+        if last {
+            let stem = p.strip_suffix(".rs").unwrap_or(p);
+            if stem != "lib" && stem != "main" && stem != "mod" {
+                mods.push(stem.to_string());
+            }
+        } else {
+            mods.push(p.to_string());
+        }
+    }
+    mods
+}
+
+/// Normalizes a use-path segment list: drops `crate`/`self`/`super`,
+/// maps `gapart_<x>` crate names to the bare `<x>` used by
+/// [`file_mods`].
+fn normalize_path(segs: Vec<String>) -> Vec<String> {
+    segs.into_iter()
+        .filter(|s| s != "crate" && s != "self" && s != "super")
+        .map(|s| match s.strip_prefix("gapart_") {
+            Some(rest) => rest.to_string(),
+            None => s,
+        })
+        .collect()
+}
+
+/// Parses the token text of one `use` declaration (without `use`/`;`)
+/// into `(name, path)` pairs. Handles one nesting level of `{...}`
+/// groups and `as` renames; `*` globs are skipped.
+fn parse_use(text: &str, out: &mut Vec<(String, Vec<String>)>) {
+    let text = text.trim();
+    if let Some(open) = text.find('{') {
+        let prefix = text[..open].trim_end_matches("::").trim();
+        let inner = text[open + 1..].trim_end_matches(['}', ' ']);
+        let mut depth = 0i32;
+        let mut start = 0;
+        let inner_b = inner.as_bytes();
+        for k in 0..=inner.len() {
+            let split = k == inner.len()
+                || (inner_b[k] == b',' && depth == 0);
+            if k < inner.len() {
+                match inner_b[k] {
+                    b'{' => depth += 1,
+                    b'}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if split {
+                let item = inner[start..k].trim();
+                if !item.is_empty() {
+                    let joined = if prefix.is_empty() {
+                        item.to_string()
+                    } else {
+                        format!("{prefix}::{item}")
+                    };
+                    parse_use(&joined, out);
+                }
+                start = k + 1;
+            }
+        }
+        return;
+    }
+    let (path_text, alias) = match text.split_once(" as ") {
+        Some((p, a)) => (p.trim(), Some(a.trim().to_string())),
+        None => (text, None),
+    };
+    let segs: Vec<String> = path_text
+        .split("::")
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let Some(last) = segs.last() else { return };
+    if last == "*" {
+        return;
+    }
+    // `use a::b::{self}` imports `b` itself.
+    let local = if last == "self" && segs.len() >= 2 {
+        segs[segs.len() - 2].clone()
+    } else {
+        last.clone()
+    };
+    let name = alias.unwrap_or(local);
+    out.push((name, normalize_path(segs)));
+}
+
+/// Keywords and ubiquitous constructors that look like calls but are
+/// never workspace function calls worth an edge.
+fn skip_call_name(name: &str) -> bool {
+    matches!(
+        name,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "return"
+            | "loop"
+            | "move"
+            | "as"
+            | "in"
+            | "let"
+            | "mut"
+            | "ref"
+            | "unsafe"
+            | "else"
+            | "break"
+            | "continue"
+            | "fn"
+            | "impl"
+            | "mod"
+            | "use"
+            | "pub"
+            | "where"
+            | "trait"
+            | "struct"
+            | "enum"
+            | "type"
+            | "const"
+            | "static"
+            | "dyn"
+            | "Some"
+            | "None"
+            | "Ok"
+            | "Err"
+            | "self"
+            | "super"
+            | "crate"
+    )
+}
+
+/// Extracts items from one stripped file.
+pub fn extract(rel: &str, file: &StrippedFile) -> FileItems {
+    let base_mods = file_mods(rel);
+    let mut items = FileItems {
+        rel: rel.to_string(),
+        ..Default::default()
+    };
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Mode {
+        Code,
+        AwaitFnName { is_pub: bool, line: usize },
+        FnHeader,
+        AwaitModName,
+        ImplHeader { angle: i32 },
+        TraitHeader { named: bool },
+        UseDecl(String),
+        Turbofish { angle: i32, method: bool, segments: Vec<String> },
+    }
+
+    let mut mode = Mode::Code;
+    let mut depth: i32 = 0;
+    let mut mod_stack: Vec<(String, i32)> = Vec::new();
+    let mut ty_stack: Vec<(String, i32)> = Vec::new();
+    let mut fn_stack: Vec<(usize, i32)> = Vec::new();
+    // Pending fn awaiting its body `{` (name, decl line, is_pub, in_test).
+    let mut pending_fn: Option<(String, usize, bool, bool)> = None;
+    let mut pending_mod: Option<String> = None;
+    let mut pending_ty: Option<String> = None;
+    let mut pub_armed = false;
+    // Path accumulation for call detection.
+    let mut cur_path: Vec<String> = Vec::new();
+    let mut path_cont = false; // last token was `::` after an ident
+    let mut after_dot = false;
+    let mut last_was_ident = false;
+
+    // Closes out a pending fn declaration into the item list.
+    macro_rules! push_fn {
+        ($body:expr, $lno:expr) => {{
+            let (name, fline, is_pub, in_test) = pending_fn.take().unwrap_or_default();
+            let mut mods = base_mods.clone();
+            mods.extend(mod_stack.iter().map(|(m, _)| m.clone()));
+            items.fns.push(FnItem {
+                name,
+                file: rel.to_string(),
+                line: fline,
+                body: $body.then_some((fline, $lno)),
+                is_pub,
+                in_test,
+                mods,
+                self_ty: ty_stack.last().map(|(t, _)| t.clone()),
+                calls: Vec::new(),
+            });
+        }};
+    }
+
+    for (li, line) in file.lines.iter().enumerate() {
+        let lno = li + 1;
+        let toks = tokenize(&line.code);
+        for tok in toks {
+            // Header modes consume tokens before generic call tracking.
+            // `mode` is taken by value so transitions cannot fight the
+            // borrow checker; every arm restores or replaces it.
+            match std::mem::replace(&mut mode, Mode::Code) {
+                Mode::UseDecl(mut buf) => {
+                    match &tok {
+                        Tok::Ident(s) if s == "as" => buf.push_str(" as "),
+                        Tok::Ident(s) => buf.push_str(s),
+                        Tok::PathSep => buf.push_str("::"),
+                        Tok::Sym(';') => {
+                            parse_use(&buf, &mut items.uses);
+                            continue; // mode stays Code
+                        }
+                        Tok::Sym(c) if matches!(c, '{' | '}' | ',' | '*') => buf.push(*c),
+                        Tok::Sym(_) => {}
+                    }
+                    mode = Mode::UseDecl(buf);
+                    continue;
+                }
+                Mode::AwaitFnName { is_pub, line: fl } => {
+                    if let Tok::Ident(name) = &tok {
+                        pending_fn =
+                            Some((name.clone(), fl, is_pub, file.lines[fl - 1].in_test));
+                        mode = Mode::FnHeader;
+                    } else if pending_fn.is_some() {
+                        // `fn(u32)` pointer type inside a signature we
+                        // were already parsing: stay in that header.
+                        mode = Mode::FnHeader;
+                    }
+                    continue;
+                }
+                Mode::AwaitModName => {
+                    if let Tok::Ident(name) = &tok {
+                        pending_mod = Some(name.clone());
+                    }
+                    continue;
+                }
+                Mode::ImplHeader { mut angle } => {
+                    match &tok {
+                        Tok::Ident(s) if angle == 0 => {
+                            if s == "for" {
+                                pending_ty = None;
+                            } else if s == "where" {
+                                continue; // to Code; `{` consumes pending_ty
+                            } else {
+                                pending_ty = Some(s.clone());
+                            }
+                        }
+                        Tok::Sym('<') => angle += 1,
+                        Tok::Sym('>') => angle = (angle - 1).max(0),
+                        Tok::Sym('{') => {
+                            if let Some(t) = pending_ty.take() {
+                                ty_stack.push((t, depth));
+                            }
+                            depth += 1;
+                            continue;
+                        }
+                        Tok::Sym(';') => {
+                            pending_ty = None;
+                            continue;
+                        }
+                        _ => {}
+                    }
+                    mode = Mode::ImplHeader { angle };
+                    continue;
+                }
+                Mode::TraitHeader { mut named } => {
+                    match &tok {
+                        Tok::Ident(s) => {
+                            if !named {
+                                pending_ty = Some(s.clone());
+                                named = true;
+                            }
+                        }
+                        Tok::Sym('{') => {
+                            if let Some(t) = pending_ty.take() {
+                                ty_stack.push((t, depth));
+                            }
+                            depth += 1;
+                            continue;
+                        }
+                        Tok::Sym(';') => {
+                            pending_ty = None;
+                            continue;
+                        }
+                        _ => {}
+                    }
+                    mode = Mode::TraitHeader { named };
+                    continue;
+                }
+                Mode::Turbofish { mut angle, method, segments } => {
+                    match &tok {
+                        Tok::Sym('<') => angle += 1,
+                        Tok::Sym('>') => {
+                            angle -= 1;
+                            if angle == 0 {
+                                // Restore the path; a following `(`
+                                // records the call.
+                                cur_path = segments;
+                                last_was_ident = true;
+                                after_dot = method;
+                                continue;
+                            }
+                        }
+                        _ => {}
+                    }
+                    mode = Mode::Turbofish { angle, method, segments };
+                    continue;
+                }
+                other @ (Mode::Code | Mode::FnHeader) => mode = other,
+            }
+
+            match &tok {
+                Tok::Ident(name) => {
+                    match name.as_str() {
+                        "fn" => {
+                            mode = Mode::AwaitFnName {
+                                is_pub: pub_armed,
+                                line: lno,
+                            };
+                            pub_armed = false;
+                        }
+                        "mod" if mode == Mode::Code => mode = Mode::AwaitModName,
+                        "impl" if mode == Mode::Code => {
+                            mode = Mode::ImplHeader { angle: 0 };
+                            pub_armed = false;
+                        }
+                        "trait" if mode == Mode::Code => {
+                            mode = Mode::TraitHeader { named: false };
+                            pub_armed = false;
+                        }
+                        "use" if mode == Mode::Code && fn_stack.is_empty() => {
+                            mode = Mode::UseDecl(String::new());
+                            pub_armed = false;
+                        }
+                        "pub" => pub_armed = true,
+                        "struct" | "enum" | "union" | "const" | "static" | "type" => {
+                            pub_armed = false;
+                        }
+                        _ => {
+                            if path_cont {
+                                cur_path.push(name.clone());
+                            } else {
+                                cur_path = vec![name.clone()];
+                            }
+                            last_was_ident = true;
+                            path_cont = false;
+                            continue;
+                        }
+                    }
+                    cur_path.clear();
+                    last_was_ident = false;
+                    path_cont = false;
+                    after_dot = false;
+                }
+                Tok::PathSep => {
+                    path_cont = last_was_ident;
+                    last_was_ident = false;
+                }
+                Tok::Sym('.') => {
+                    after_dot = true;
+                    last_was_ident = false;
+                    cur_path.clear();
+                    path_cont = false;
+                }
+                Tok::Sym('<') if path_cont => {
+                    // `name::<...>(` turbofish: keep the path across it.
+                    mode = Mode::Turbofish {
+                        angle: 1,
+                        method: after_dot,
+                        segments: std::mem::take(&mut cur_path),
+                    };
+                    path_cont = false;
+                }
+                Tok::Sym('(') => {
+                    if last_was_ident && !cur_path.is_empty() {
+                        let name = cur_path.last().cloned().unwrap_or_default();
+                        let plain_kw = cur_path.len() == 1 && skip_call_name(&name);
+                        if !plain_kw && !name.is_empty() {
+                            if let Some(&(fi, _)) = fn_stack.last() {
+                                items.fns[fi].calls.push(CallSite {
+                                    line: lno,
+                                    segments: std::mem::take(&mut cur_path),
+                                    method: after_dot,
+                                });
+                            }
+                        }
+                    }
+                    cur_path.clear();
+                    last_was_ident = false;
+                    path_cont = false;
+                    after_dot = false;
+                }
+                Tok::Sym('!') => {
+                    // Macro invocation: not a fn call.
+                    cur_path.clear();
+                    last_was_ident = false;
+                    path_cont = false;
+                    after_dot = false;
+                }
+                Tok::Sym('{') => {
+                    if mode == Mode::FnHeader {
+                        push_fn!(true, lno);
+                        fn_stack.push((items.fns.len() - 1, depth));
+                        mode = Mode::Code;
+                    } else if let Some(m) = pending_mod.take() {
+                        mod_stack.push((m, depth));
+                    } else if let Some(t) = pending_ty.take() {
+                        // `impl .. where ..` header that re-entered Code
+                        // mode before its body opened.
+                        ty_stack.push((t, depth));
+                    }
+                    depth += 1;
+                    pub_armed = false;
+                    cur_path.clear();
+                    last_was_ident = false;
+                    path_cont = false;
+                    after_dot = false;
+                }
+                Tok::Sym('}') => {
+                    depth -= 1;
+                    if fn_stack.last().is_some_and(|&(_, d)| d == depth) {
+                        let (fi, _) = fn_stack.pop().unwrap_or_default();
+                        if let Some(b) = &mut items.fns[fi].body {
+                            b.1 = lno;
+                        }
+                    }
+                    if mod_stack.last().is_some_and(|&(_, d)| d == depth) {
+                        mod_stack.pop();
+                    }
+                    if ty_stack.last().is_some_and(|&(_, d)| d == depth) {
+                        ty_stack.pop();
+                    }
+                    cur_path.clear();
+                    last_was_ident = false;
+                    path_cont = false;
+                    after_dot = false;
+                }
+                Tok::Sym(';') => {
+                    if mode == Mode::FnHeader {
+                        // Body-less trait method declaration.
+                        push_fn!(false, lno);
+                        mode = Mode::Code;
+                    }
+                    pending_mod = None;
+                    pending_ty = None;
+                    pub_armed = false;
+                    cur_path.clear();
+                    last_was_ident = false;
+                    path_cont = false;
+                    after_dot = false;
+                }
+                Tok::Sym(_) => {
+                    last_was_ident = false;
+                    path_cont = false;
+                    after_dot = false;
+                    cur_path.clear();
+                }
+            }
+        }
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::strip;
+
+    fn extract_src(rel: &str, src: &str) -> FileItems {
+        extract(rel, &strip(src))
+    }
+
+    #[test]
+    fn file_mods_shapes() {
+        assert_eq!(file_mods("crates/graph/src/fm.rs"), vec!["graph", "fm"]);
+        assert_eq!(file_mods("crates/graph/src/lib.rs"), vec!["graph"]);
+        assert_eq!(
+            file_mods("crates/graph/src/dynamic/mod.rs"),
+            vec!["graph", "dynamic"]
+        );
+        assert_eq!(
+            file_mods("crates/graph/src/generators/grid.rs"),
+            vec!["graph", "generators", "grid"]
+        );
+        assert_eq!(file_mods("src/partitioners.rs"), vec!["gapart", "partitioners"]);
+    }
+
+    #[test]
+    fn fns_with_visibility_span_and_mods() {
+        let src = "\
+pub fn api(x: u32) -> u32 {
+    helper(x)
+}
+fn helper(x: u32) -> u32 {
+    x + 1
+}
+mod inner {
+    pub(crate) fn nested() {}
+}
+";
+        let it = extract_src("crates/graph/src/fm.rs", src);
+        let names: Vec<(&str, bool)> = it.fns.iter().map(|f| (f.name.as_str(), f.is_pub)).collect();
+        assert_eq!(
+            names,
+            vec![("api", true), ("helper", false), ("nested", true)]
+        );
+        assert_eq!(it.fns[0].body, Some((1, 3)));
+        assert_eq!(it.fns[1].body, Some((4, 6)));
+        assert_eq!(it.fns[2].mods, vec!["graph", "fm", "inner"]);
+        assert_eq!(it.fns[0].calls.len(), 1);
+        assert_eq!(it.fns[0].calls[0].segments, vec!["helper"]);
+        assert!(!it.fns[0].calls[0].method);
+    }
+
+    #[test]
+    fn impl_and_trait_self_types() {
+        let src = "\
+impl Engine {
+    pub fn step(&mut self) { self.tick(); }
+}
+impl Runner for Engine {
+    fn run(&self) {}
+}
+pub trait Runner {
+    fn run(&self);
+    fn all(&self) { self.run(); }
+}
+";
+        let it = extract_src("crates/core/src/engine.rs", src);
+        let tys: Vec<(&str, Option<&str>)> = it
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.self_ty.as_deref()))
+            .collect();
+        assert_eq!(
+            tys,
+            vec![
+                ("step", Some("Engine")),
+                ("run", Some("Engine")),
+                ("run", Some("Runner")),
+                ("all", Some("Runner")),
+            ]
+        );
+        // Trait decl without body.
+        assert_eq!(it.fns[2].body, None);
+        // Method call recorded as method.
+        assert!(it.fns[0].calls.iter().any(|c| c.method && c.segments == ["tick"]));
+    }
+
+    #[test]
+    fn qualified_and_turbofish_calls() {
+        let src = "\
+fn f() {
+    fm::refine(1);
+    Partition::new(labels, k);
+    let s = xs.iter().sum::<f64>();
+    vec![1, 2];
+    if cond(x) { loop {} }
+}
+";
+        let it = extract_src("crates/graph/src/multilevel.rs", src);
+        let calls: Vec<(Vec<String>, bool)> = it.fns[0]
+            .calls
+            .iter()
+            .map(|c| (c.segments.clone(), c.method))
+            .collect();
+        assert!(calls.contains(&(vec!["fm".into(), "refine".into()], false)));
+        assert!(calls.contains(&(vec!["Partition".into(), "new".into()], false)));
+        assert!(calls.contains(&(vec!["sum".into()], true)));
+        assert!(calls.contains(&(vec!["cond".into()], false)));
+        // `vec!` macro and keywords are not calls.
+        assert!(!calls.iter().any(|(s, _)| s == &vec!["vec".to_string()]));
+        assert!(!calls.iter().any(|(s, _)| s == &vec!["if".to_string()]));
+    }
+
+    #[test]
+    fn use_imports_parse_groups_and_renames() {
+        let src = "\
+use gapart_graph::fm::{ParallelFm, FmRefiner};
+use crate::geometry::NearestGrid as Grid;
+use std::collections::BTreeMap;
+fn f() {}
+";
+        let it = extract_src("crates/core/src/dynamic.rs", src);
+        let find = |n: &str| it.uses.iter().find(|(a, _)| a == n).map(|(_, p)| p.clone());
+        assert_eq!(
+            find("ParallelFm"),
+            Some(vec!["graph".into(), "fm".into(), "ParallelFm".into()])
+        );
+        assert_eq!(
+            find("FmRefiner"),
+            Some(vec!["graph".into(), "fm".into(), "FmRefiner".into()])
+        );
+        assert_eq!(
+            find("Grid"),
+            Some(vec!["geometry".into(), "NearestGrid".into()])
+        );
+        assert_eq!(
+            find("BTreeMap"),
+            Some(vec!["std".into(), "collections".into(), "BTreeMap".into()])
+        );
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let src = "\
+fn lib() {}
+#[cfg(test)]
+mod tests {
+    fn t() {}
+}
+";
+        let it = extract_src("crates/graph/src/fm.rs", src);
+        assert!(!it.fns[0].in_test);
+        assert!(it.fns[1].in_test);
+        assert_eq!(it.fns[1].mods, vec!["graph", "fm", "tests"]);
+    }
+}

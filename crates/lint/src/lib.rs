@@ -8,6 +8,14 @@
 //! workspace's no-registry compat-shim policy) with:
 //!
 //! * a rule table ([`rules::RULES`]) grounded in repo invariants,
+//! * parallel-region rules (`par-side-effect`, `float-reduce-order`)
+//!   checked only inside `par_iter`/`par_chunks` chains,
+//! * a whole-workspace cross-file layer — [`items`] extracts `fn`
+//!   items and call sites, [`callgraph`] resolves them into a
+//!   module-path-qualified call graph, and [`taint`] propagates
+//!   panic-reachability up to `pub` APIs (`panic-reach`) and
+//!   nondeterminism down from the pipeline entry points (`det-taint`),
+//!   each finding carrying a witness call path,
 //! * inline suppressions — a comment of the form
 //!   `gapart-lint: allow(<rule>) -- <reason>` on the finding's line or
 //!   the line above (the reason is mandatory),
@@ -21,11 +29,15 @@
 //! and semantics.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod engine;
+pub mod items;
 pub mod rules;
 pub mod scan;
+pub mod taint;
 
 pub use baseline::Baseline;
 pub use engine::{
-    apply_baseline, baseline_from_findings, scan_source, scan_workspace, Finding, Ratchet,
+    apply_baseline, baseline_from_findings, scan_files, scan_source, scan_workspace, Finding,
+    Ratchet,
 };

@@ -23,6 +23,9 @@ OPTIONS:
     --baseline <FILE>      Baseline path (default: <root>/lint-baseline.toml)
     --update-baseline      Rewrite the baseline to match this scan's findings
     --no-baseline          Ignore the baseline: report every finding, fail on any
+    --format <FMT>         Report format: text (default) or github
+                           (::warning annotations for over-budget findings)
+    --explain <RULE>       Print a rule's rationale and witness example, then exit
     --list-rules           Print the rule table and exit
 
 Suppress a finding in source with a comment on its line or the line above:
@@ -49,6 +52,8 @@ struct Options {
     update_baseline: bool,
     no_baseline: bool,
     list_rules: bool,
+    github: bool,
+    explain: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -59,6 +64,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         update_baseline: false,
         no_baseline: false,
         list_rules: false,
+        github: false,
+        explain: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -73,6 +80,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--update-baseline" => o.update_baseline = true,
             "--no-baseline" => o.no_baseline = true,
             "--list-rules" => o.list_rules = true,
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => o.github = false,
+                Some("github") => o.github = true,
+                Some(other) => return Err(format!("unknown format `{other}` (text|github)")),
+                None => return Err("--format needs a value (text|github)".into()),
+            },
+            "--explain" => {
+                o.explain = Some(it.next().ok_or("--explain needs a rule name")?.clone());
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -94,6 +110,22 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(name) = &opts.explain {
+        let Some(r) = gapart_lint::rules::rule_by_name(name) else {
+            eprintln!("error: unknown rule `{name}` (see --list-rules)");
+            return ExitCode::from(2);
+        };
+        out!("{}\n    {}\n", r.name, r.desc);
+        out!("WHY");
+        for line in squeeze(r.why).lines() {
+            out!("    {line}");
+        }
+        out!("\nEXAMPLE");
+        for line in r.example.lines() {
+            out!("    {}", line.trim_start());
+        }
+        return ExitCode::SUCCESS;
+    }
     if opts.list_rules {
         for r in RULES {
             out!("{:<20} {}", r.name, r.desc);
@@ -162,7 +194,7 @@ fn main() -> ExitCode {
     };
 
     let ratchet = apply_baseline(&findings, &baseline);
-    report(&ratchet);
+    report(&ratchet, opts.github);
     if ratchet.ok() {
         ExitCode::SUCCESS
     } else {
@@ -170,7 +202,45 @@ fn main() -> ExitCode {
     }
 }
 
-fn report(r: &Ratchet) {
+/// Reflows a doc-style string (single newlines + indent runs collapse
+/// to one space) and wraps it to ~72 columns for terminal output.
+fn squeeze(text: &str) -> String {
+    let words: Vec<&str> = text.split_whitespace().collect();
+    let mut out = String::new();
+    let mut col = 0;
+    for w in words {
+        if col > 0 && col + 1 + w.len() > 72 {
+            out.push('\n');
+            col = 0;
+        } else if col > 0 {
+            out.push(' ');
+            col += 1;
+        }
+        out.push_str(w);
+        col += w.len();
+    }
+    out
+}
+
+/// Escapes a message for a GitHub workflow-command annotation.
+fn gh_escape(s: &str) -> String {
+    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
+}
+
+fn report(r: &Ratchet, github: bool) {
+    if github {
+        for over in &r.over {
+            for f in &over.findings {
+                out!(
+                    "::warning file={},line={}::gapart-lint[{}]: {}",
+                    f.file,
+                    f.line,
+                    f.rule,
+                    gh_escape(&f.excerpt)
+                );
+            }
+        }
+    }
     for over in &r.over {
         eprintln!(
             "NEW {} [{}]: {} finding(s), baseline allows {}",

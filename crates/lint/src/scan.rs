@@ -89,7 +89,12 @@ pub fn strip(text: &str) -> StrippedFile {
                         cur.code.push('"');
                         state = State::Str;
                     }
-                    'r' if matches!(next, Some('"') | Some('#'))
+                    // The raw/byte-string openers require the `r`/`b` to
+                    // start its own token: `helper_r#"…"#`-style
+                    // identifiers ending in `r` or `b` must not open a
+                    // literal and silently swallow the code that follows.
+                    'r' if token_start(&chars, i)
+                        && matches!(next, Some('"') | Some('#'))
                         && raw_str_at(&chars, i + 1).is_some() =>
                     {
                         let hashes = raw_str_at(&chars, i + 1).unwrap_or(0);
@@ -104,21 +109,24 @@ pub fn strip(text: &str) -> StrippedFile {
                         state = State::RawStr(hashes);
                         continue;
                     }
-                    'b' if next == Some('"') => {
+                    'b' if token_start(&chars, i) && next == Some('"') => {
                         cur.code.push_str("b\"");
                         cur.raw.push('"');
                         i += 2;
                         state = State::Str;
                         continue;
                     }
-                    'b' if next == Some('\'') => {
+                    'b' if token_start(&chars, i) && next == Some('\'') => {
                         cur.code.push_str("b'");
                         cur.raw.push('\'');
                         i += 2;
                         state = State::Char;
                         continue;
                     }
-                    'b' if next == Some('r') && raw_str_at(&chars, i + 2).is_some() => {
+                    'b' if token_start(&chars, i)
+                        && next == Some('r')
+                        && raw_str_at(&chars, i + 2).is_some() =>
+                    {
                         let hashes = raw_str_at(&chars, i + 2).unwrap_or(0);
                         cur.code.push_str("br");
                         cur.raw.push('r');
@@ -225,6 +233,12 @@ pub fn strip(text: &str) -> StrippedFile {
     StrippedFile { lines }
 }
 
+/// Whether `chars[at]` starts a token: the previous char is not an
+/// identifier char, so an `r`/`b` here can open a raw/byte literal.
+fn token_start(chars: &[char], at: usize) -> bool {
+    at == 0 || !matches!(chars[at - 1], 'a'..='z' | 'A'..='Z' | '0'..='9' | '_')
+}
+
 /// If `chars[at..]` begins `#*"` (a raw-string opener minus the leading
 /// `r`), returns the number of hashes.
 fn raw_str_at(chars: &[char], at: usize) -> Option<u32> {
@@ -254,7 +268,7 @@ fn mask_test_regions(lines: &mut [Line]) {
     let mut gates: Vec<i64> = Vec::new();
     for line in lines.iter_mut() {
         let mut in_test = !gates.is_empty();
-        if line.code.contains("cfg(test)") || line.code.contains("debug_assertions") {
+        if mentions_test_cfg(&line.code) || line.code.contains("debug_assertions") {
             pending = true;
         }
         for c in line.code.chars() {
@@ -279,6 +293,99 @@ fn mask_test_regions(lines: &mut [Line]) {
         }
         line.in_test = in_test || !gates.is_empty();
     }
+}
+
+/// Whether stripped code mentions a test-gating `cfg` condition.
+///
+/// The naive `contains("cfg(test)")` missed composed forms on `mod`
+/// items stacked under other attributes — `#[cfg(all(test, ...))]`,
+/// `#[cfg(any(test, fuzzing))]`, spaced `cfg( test )` — which left
+/// whole test modules unmasked. This looks inside each `cfg(...)`
+/// group for the standalone word `test`, excluding `not(test)` (that
+/// gates *library* code and must stay scanned).
+fn mentions_test_cfg(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("cfg") {
+        let at = from + pos;
+        from = at + 3;
+        // `cfg` must be its own word (not `my_cfg`, not `cfgx`).
+        if at > 0 && matches!(bytes[at - 1], b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') {
+            continue;
+        }
+        // Accept `cfg(` and `cfg!(` with optional spaces.
+        let mut j = at + 3;
+        while j < bytes.len() && (bytes[j] == b' ' || bytes[j] == b'!') {
+            j += 1;
+        }
+        if j >= bytes.len() || bytes[j] != b'(' {
+            continue;
+        }
+        // Balanced group contents.
+        let mut depth = 0i32;
+        let start = j + 1;
+        let mut end = bytes.len();
+        for (k, &b) in bytes.iter().enumerate().skip(j) {
+            match b {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let group = &code[start..end.max(start)];
+        if group_has_test_word(group) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether `group` (the inside of a `cfg(...)`) contains the word
+/// `test` outside a `not(...)` sub-group.
+fn group_has_test_word(group: &str) -> bool {
+    let bytes = group.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = group[from..].find("test") {
+        let at = from + pos;
+        from = at + 4;
+        let before_ok = at == 0
+            || !matches!(bytes[at - 1], b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_');
+        let after = at + 4;
+        let after_ok = after >= bytes.len()
+            || !matches!(bytes[after], b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_');
+        if !(before_ok && after_ok) {
+            continue;
+        }
+        // Count unclosed `not(` groups opened before this occurrence; a
+        // `test` inside one gates non-test code.
+        let prefix = &group[..at];
+        let mut negated = 0i32;
+        let mut k = 0;
+        let pb = prefix.as_bytes();
+        while k < pb.len() {
+            if prefix[k..].starts_with("not(")
+                && (k == 0 || !matches!(pb[k - 1], b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_'))
+            {
+                negated += 1;
+                k += 4;
+                continue;
+            }
+            if pb[k] == b')' && negated > 0 {
+                negated -= 1;
+            }
+            k += 1;
+        }
+        if negated == 0 {
+            return true;
+        }
+    }
+    false
 }
 
 #[cfg(test)]
@@ -394,5 +501,54 @@ mod tests {
         let src = "let s = \"keep\"; // tail\n";
         let f = strip(src);
         assert_eq!(f.lines[0].raw, "let s = \"keep\"; // tail");
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_are_blanked() {
+        let f = strip("let s = r##\"HashMap \"# inner\"##; x.unwrap();\n");
+        assert_eq!(f.lines[0].code, "let s = r##\"\"##; x.unwrap();");
+        let f = strip("let s = br#\"Instant::now()\"#; y();\n");
+        assert_eq!(f.lines[0].code, "let s = br#\"\"#; y();");
+        // Multi-line: the scanner must re-enter code exactly at the
+        // matching-hash closer, not at an embedded `"`+fewer hashes.
+        let f = strip("let s = r##\"a\nb\"# not closed\nc\"##; z();\n");
+        assert_eq!(f.lines[0].code, "let s = r##\"");
+        assert_eq!(f.lines[1].code, "");
+        assert_eq!(f.lines[2].code, "\"##; z();");
+    }
+
+    #[test]
+    fn identifier_ending_in_r_or_b_does_not_open_a_raw_string() {
+        // `helper_r` / `make_b` end in the opener chars; treating them
+        // as literal openers would swallow the rest of the file.
+        let f = strip("let x = helper_r(\"arg\"); x.unwrap();\n");
+        assert_eq!(f.lines[0].code, "let x = helper_r(\"\"); x.unwrap();");
+        let f = strip("let y = make_b('c'); y.unwrap();\n");
+        assert_eq!(f.lines[0].code, "let y = make_b(''); y.unwrap();");
+    }
+
+    #[test]
+    fn cfg_test_mod_after_other_attributes_is_masked() {
+        for src in [
+            "#[allow(dead_code)]\n#[cfg(test)]\nmod t {\n    x.unwrap();\n}\nafter();\n",
+            "#[cfg(test)]\n#[allow(dead_code)]\nmod t {\n    x.unwrap();\n}\nafter();\n",
+            "#[allow(dead_code)]\n#[cfg(all(test, feature = \"x\"))]\nmod t {\n    x.unwrap();\n}\nafter();\n",
+            "#[allow(dead_code)]\n#[cfg( test )]\nmod t {\n    x.unwrap();\n}\nafter();\n",
+        ] {
+            let f = strip(src);
+            assert!(f.lines[3].in_test, "unwrap line unmasked in: {src}");
+            assert!(!f.lines[5].in_test, "code after mod masked in: {src}");
+        }
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let src = "#[cfg(not(test))]\nmod lib_only {\n    x.unwrap();\n}\n";
+        let f = strip(src);
+        assert!(f.lines.iter().all(|l| !l.in_test));
+        assert!(!mentions_test_cfg("#[cfg(not(test))]"));
+        assert!(mentions_test_cfg("#[cfg(all(not(fuzzing), test))]"));
+        assert!(!mentions_test_cfg("#[cfg(feature = \"attest\")]"));
+        assert!(!mentions_test_cfg("my_cfg(test)"));
     }
 }

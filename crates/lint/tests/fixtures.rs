@@ -117,6 +117,56 @@ fn lib_panic_clean_is_silent() {
 }
 
 #[test]
+fn par_side_effect_bad_is_flagged_finding_by_finding() {
+    assert_eq!(
+        scan_fixture("par_side_effect_bad.rs", FULL_SCOPE),
+        vec![
+            (8, "par-side-effect".into()),
+            (13, "par-side-effect".into()),
+            (19, "par-side-effect".into()),
+        ]
+    );
+}
+
+#[test]
+fn par_side_effect_clean_closure_local_scratch_is_silent() {
+    assert_eq!(scan_fixture("par_side_effect_clean.rs", FULL_SCOPE), vec![]);
+}
+
+#[test]
+fn float_reduce_bad_is_flagged_finding_by_finding() {
+    assert_eq!(
+        scan_fixture("float_reduce_bad.rs", FULL_SCOPE),
+        vec![
+            (5, "float-reduce-order".into()),
+            (9, "float-reduce-order".into()),
+            (13, "float-reduce-order".into()),
+        ]
+    );
+}
+
+#[test]
+fn float_reduce_clean_sequential_or_integer_is_silent() {
+    assert_eq!(scan_fixture("float_reduce_clean.rs", FULL_SCOPE), vec![]);
+}
+
+#[test]
+fn multi_hash_raw_strings_are_blanked_and_scanning_resumes() {
+    assert_eq!(
+        scan_fixture("raw_string_multihash.rs", FULL_SCOPE),
+        vec![(18, "lib-panic".into())]
+    );
+}
+
+#[test]
+fn cfg_test_after_other_attributes_masks_and_not_test_does_not() {
+    assert_eq!(
+        scan_fixture("cfg_attr_order.rs", FULL_SCOPE),
+        vec![(31, "lib-panic".into())]
+    );
+}
+
+#[test]
 fn reasoned_suppressions_silence_every_rule() {
     assert_eq!(scan_fixture("suppressed.rs", FULL_SCOPE), vec![]);
 }

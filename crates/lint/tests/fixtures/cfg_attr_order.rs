@@ -1,0 +1,32 @@
+//! Tokenizer fixture: `#[cfg(test)]` after other attributes, and
+//! `cfg(all(test, ...))`, still mask the module; `cfg(not(test))` code
+//! stays scanned.
+
+pub fn lib(x: u32) -> u32 {
+    x + 1
+}
+
+#[allow(dead_code)]
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn t() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m.get(&1).copied().unwrap(), 2);
+    }
+}
+
+#[cfg(all(test, feature = "slow"))]
+mod slow_tests {
+    fn u(x: Option<u32>) -> u32 {
+        x.unwrap()
+    }
+}
+
+#[cfg(not(test))]
+pub fn real(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

@@ -1,0 +1,10 @@
+//! Deep fixture (file 1 of 2): the pipeline entry point. The partition
+//! impl calls into the sibling file's hash-ordered helper.
+
+pub struct MultilevelPartitioner;
+
+impl MultilevelPartitioner {
+    pub fn partition(&self, n: u32) -> u32 {
+        crate::order::seed_order(n)
+    }
+}

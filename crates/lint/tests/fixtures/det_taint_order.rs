@@ -1,0 +1,13 @@
+//! Deep fixture (file 2 of 2): one reachable det seed, one stray one.
+
+pub fn seed_order(n: u32) -> u32 {
+    let mut m = std::collections::HashMap::new();
+    m.insert(n, n);
+    m.len() as u32
+}
+
+pub fn stray_order(n: u32) -> u32 {
+    let mut m = std::collections::HashMap::new();
+    m.insert(n, n + 1);
+    m.len() as u32
+}

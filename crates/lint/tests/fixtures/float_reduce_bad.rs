@@ -1,0 +1,14 @@
+//! Float reductions inside parallel iterators: split order decides the
+//! rounding, so the result is not bit-identical across pool sizes.
+
+pub fn bad_sum(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|&x| x * 0.5).sum::<f64>()
+}
+
+pub fn bad_sum_f32(xs: &[f32]) -> f32 {
+    xs.par_iter().copied().sum::<f32>()
+}
+
+pub fn bad_fold(xs: &[f32]) -> f32 {
+    xs.par_iter().cloned().fold(0.0f32, |a, b| a + b)
+}

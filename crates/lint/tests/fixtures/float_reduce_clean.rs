@@ -1,0 +1,14 @@
+//! Order-safe reductions: sequential float sums and parallel integer
+//! sums are both exact-by-construction.
+
+pub fn clean_seq_sum(xs: &[f64]) -> f64 {
+    xs.iter().map(|&x| x * 0.5).sum::<f64>()
+}
+
+pub fn clean_int_par(xs: &[u64]) -> u64 {
+    xs.par_iter().map(|&x| x / 2).sum::<u64>()
+}
+
+pub fn clean_fixed_point(xs: &[u32]) -> i64 {
+    xs.par_iter().map(|&x| i64::from(x) * 1000).sum::<i64>()
+}

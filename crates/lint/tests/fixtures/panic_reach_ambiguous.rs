@@ -1,0 +1,25 @@
+//! Deep fixture: a trait method with two impls — the call fans out to
+//! ambiguous edges, and the witness renders the hop as `~>`.
+
+pub struct Exact;
+pub struct Greedy;
+
+pub trait Cost {
+    fn cost(&self, xs: &[u32]) -> u32;
+}
+
+impl Cost for Exact {
+    fn cost(&self, xs: &[u32]) -> u32 {
+        xs[0]
+    }
+}
+
+impl Cost for Greedy {
+    fn cost(&self, xs: &[u32]) -> u32 {
+        xs.len() as u32
+    }
+}
+
+pub fn run(c: &dyn Cost, xs: &[u32]) -> u32 {
+    c.cost(xs)
+}

@@ -1,0 +1,11 @@
+//! Deep fixture: no pub function reaches a panic. The private panicking
+//! helper is never called, and the pub API is total.
+
+pub fn safe_sum(xs: &[u32]) -> u32 {
+    xs.iter().copied().fold(0u32, u32::wrapping_add)
+}
+
+fn dead_helper(x: Option<u32>) -> u32 {
+    // gapart-lint: allow(lib-panic) -- fixture: uncalled helper, not a seed
+    x.unwrap()
+}

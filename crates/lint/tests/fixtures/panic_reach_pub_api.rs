@@ -1,0 +1,13 @@
+//! Deep fixture: a pub API reaching a panic two calls down.
+
+pub fn cut_cost(xs: &[u32]) -> u32 {
+    total(xs)
+}
+
+fn total(xs: &[u32]) -> u32 {
+    head(xs)
+}
+
+fn head(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap()
+}

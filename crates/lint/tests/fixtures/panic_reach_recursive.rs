@@ -1,0 +1,26 @@
+//! Deep fixture: recursion and mutual recursion — propagation must
+//! terminate and still report the pub entries.
+
+pub fn collapse(n: u32, xs: &[u32]) -> u32 {
+    if n == 0 {
+        xs[0]
+    } else {
+        collapse(n - 1, xs)
+    }
+}
+
+pub fn ping(n: u32, xs: &[u32]) -> u32 {
+    if n == 0 {
+        pong(0, xs)
+    } else {
+        pong(n - 1, xs)
+    }
+}
+
+fn pong(n: u32, xs: &[u32]) -> u32 {
+    if n == 0 {
+        xs[xs.len() - 1]
+    } else {
+        ping(n - 1, xs)
+    }
+}

@@ -1,0 +1,21 @@
+//! Parallel closures that mutate shared state: every form the rule
+//! catches — a lock, an atomic RMW, and a captured `&mut`.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+pub fn bad_lock(xs: &[u32], acc: &Mutex<Vec<u32>>) {
+    xs.par_iter().for_each(|&x| acc.lock().push(x));
+}
+
+pub fn bad_atomic(xs: &[u32], n: &AtomicU32) {
+    xs.par_iter().for_each(|&x| {
+        n.fetch_add(x, Ordering::Relaxed);
+    });
+}
+
+pub fn bad_mut_capture(xs: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    xs.par_iter().for_each(|&x| grow(&mut out, x));
+    out
+}

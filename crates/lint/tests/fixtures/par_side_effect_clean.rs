@@ -1,0 +1,28 @@
+//! The frozen-scan idiom: parallel closures with closure-local scratch
+//! only. `&mut` to a region-local binding or a closure parameter is not
+//! a captured side effect.
+
+pub fn clean_scan(xs: &[u32]) -> Vec<u32> {
+    xs.par_iter()
+        .map(|&x| {
+            let mut local = Vec::new();
+            fill(&mut local, x);
+            local.into_iter().map(|y| y + 1).sum::<u32>()
+        })
+        .collect()
+}
+
+pub fn clean_chunks(labels: &mut [u32]) {
+    labels.par_chunks_mut(1024).for_each(|chunk| {
+        let mut scratch = 0u32;
+        for c in chunk.iter_mut() {
+            scratch = scratch.wrapping_add(*c);
+            *c = scratch;
+        }
+    });
+}
+
+pub fn sequential_mutation_after_scan(xs: &[u32], out: &mut Vec<u32>) {
+    let moves: Vec<u32> = xs.par_iter().map(|&x| x + 1).collect();
+    out.extend(moves);
+}

@@ -1,0 +1,19 @@
+//! Tokenizer fixture: multi-hash raw strings and byte raw strings are
+//! blanked — the patterns inside must not fire, and scanning must
+//! resume cleanly after each literal.
+
+pub fn doc() -> &'static str {
+    r##"HashMap .unwrap() panic!( "quoted" Instant::now"##
+}
+
+pub fn byte_doc() -> &'static [u8] {
+    br#".expect( thread_rng SystemTime as u32"#
+}
+
+pub fn nested_hash() -> &'static str {
+    r###"ends with "## not here: thread::current"###
+}
+
+pub fn after(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

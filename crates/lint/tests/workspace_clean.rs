@@ -35,6 +35,26 @@ fn workspace_scan_has_no_findings_over_baseline() {
 }
 
 #[test]
+fn baseline_has_no_entries_for_files_that_no_longer_exist() {
+    // Stale-path ratchet: a deleted or renamed file must take its debt
+    // allowance with it, or the budget could silently migrate.
+    let root = workspace_root();
+    let text =
+        std::fs::read_to_string(root.join("lint-baseline.toml")).expect("committed baseline");
+    let baseline = Baseline::parse(&text).expect("baseline parses");
+    let missing: Vec<&String> = baseline
+        .allowed
+        .keys()
+        .filter(|rel| !root.join(rel.as_str()).is_file())
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "baseline entries for nonexistent files — run `cargo run -p gapart-lint -- \
+         --workspace --update-baseline`: {missing:?}"
+    );
+}
+
+#[test]
 fn the_lint_crate_itself_is_debt_free() {
     let root = workspace_root();
     let findings = scan_workspace(root).expect("workspace scan");
