@@ -254,9 +254,11 @@ fn run_stream(
             let mut s = DynamicSession::new(
                 graph.clone(),
                 full,
-                DynamicConfig::new(PARTS)
-                    .with_seed(SEED)
-                    .with_refine_scheme(scheme),
+                DynamicConfig {
+                    seed: SEED,
+                    refine_scheme: scheme,
+                    ..DynamicConfig::new(PARTS)
+                },
             )?;
             s.replay(&trace)?;
             Ok::<_, gapart::core::dynamic::DynamicError>(s)

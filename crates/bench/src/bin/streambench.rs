@@ -72,10 +72,12 @@ fn main() {
     let mut session = DynamicSession::new(
         graph.clone(),
         partitioners::by_name("mlga").expect("mlga is registered"),
-        DynamicConfig::new(parts)
-            .with_seed(seed)
-            .with_frontier_hops(hops)
-            .with_escalate_ratio(threshold),
+        DynamicConfig {
+            seed,
+            frontier_hops: hops,
+            escalate_ratio: threshold,
+            ..DynamicConfig::new(parts)
+        },
     )
     .expect("initial solve cannot fail");
     let mut stream_batch_secs = Vec::with_capacity(batches);

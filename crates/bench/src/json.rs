@@ -593,17 +593,10 @@ pub fn compare_trajectories(
 }
 
 /// FNV-1a over the label array — the determinism witness recorded as
-/// `partition_hash` (16 lowercase hex digits).
-pub fn hash_labels(labels: &[u32]) -> String {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &l in labels {
-        for b in l.to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    }
-    format!("{h:016x}")
-}
+/// `partition_hash` (16 lowercase hex digits). Canonical home is
+/// [`gapart_graph::partition::hash_labels`]; re-exported here so the
+/// trajectory schema keeps its historical import path.
+pub use gapart_graph::partition::hash_labels;
 
 #[cfg(test)]
 mod tests {

@@ -51,6 +51,11 @@ pub enum DynamicError {
     Seed(GaError),
     /// The full repartitioner failed during an escalation.
     Escalation(PartitionerError),
+    /// A [`SessionSpec`] named a method the resolver does not know.
+    UnknownMethod(String),
+    /// Restoring a session from persisted state failed an integrity
+    /// check (the message says which).
+    Resume(String),
 }
 
 impl std::fmt::Display for DynamicError {
@@ -59,6 +64,8 @@ impl std::fmt::Display for DynamicError {
             DynamicError::Graph(e) => write!(f, "bad mutation batch: {e}"),
             DynamicError::Seed(e) => write!(f, "seeding failed: {e}"),
             DynamicError::Escalation(e) => write!(f, "full repartition failed: {e}"),
+            DynamicError::UnknownMethod(m) => write!(f, "unknown method '{m}'"),
+            DynamicError::Resume(m) => write!(f, "cannot resume session: {m}"),
         }
     }
 }
@@ -115,37 +122,269 @@ impl Default for DynamicConfig {
 }
 
 impl DynamicConfig {
-    /// Default configuration for `num_parts` parts.
+    /// Default configuration for `num_parts` parts. The fields are
+    /// public — adjust them with struct-update syntax
+    /// (`DynamicConfig { seed: 7, ..DynamicConfig::new(4) }`) or go
+    /// through [`SessionSpec`], the validated front door every session
+    /// surface (CLI `stream`, the `serve` daemon, library callers)
+    /// shares.
     pub fn new(num_parts: u32) -> Self {
         DynamicConfig {
             num_parts,
             ..DynamicConfig::default()
         }
     }
+}
 
-    /// Sets the RNG seed.
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
+/// Default RNG seed for user-facing session surfaces (`stream`,
+/// `serve`) — the bytes "SC94".
+pub const DEFAULT_SESSION_SEED: u64 = 0x5343_3934;
+
+/// A malformed or invalid [`SessionSpec`] field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A `key=value` token had no `=`.
+    Malformed(String),
+    /// The key is not a session parameter.
+    UnknownKey(String),
+    /// The value does not parse or is out of range for its key.
+    BadValue {
+        /// The offending key.
+        key: String,
+        /// The rejected value.
+        value: String,
+    },
+    /// The spec text never set the mandatory `parts` key.
+    MissingParts,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Malformed(tok) => write!(f, "expected key=value, got '{tok}'"),
+            SpecError::UnknownKey(k) => write!(f, "unknown session parameter '{k}'"),
+            SpecError::BadValue { key, value } => {
+                write!(f, "bad value '{value}' for session parameter '{key}'")
+            }
+            SpecError::MissingParts => write!(f, "session spec must set parts=<n>"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Resolves a method name to a full partitioner for escalations.
+///
+/// [`SessionSpec`] lives below the partitioner registry (the facade
+/// crate), so callers inject the lookup: the CLI and the serve daemon
+/// pass `gapart::partitioners::by_name_with`, tests pass a closure over
+/// whatever partitioner they build. Returning `None` surfaces as
+/// [`DynamicError::UnknownMethod`].
+pub type MethodResolver = fn(&str, RefineScheme) -> Option<Box<dyn Partitioner>>;
+
+/// Everything that identifies a dynamic session, in one validated
+/// value: part count, escalation method, refinement scheme, seed,
+/// escalation threshold, and frontier size.
+///
+/// This is the *single* parse/validate path for session parameters.
+/// The CLI `stream` flags, the serve protocol's `open` command, and the
+/// session tape's `open` record all reduce to [`SessionSpec::set`] calls
+/// keyed by the same names, so one grammar serves every surface:
+///
+/// ```text
+/// parts=4 method=mlga refine=fm seed=0x53433934 threshold=1.5 hops=2
+/// ```
+///
+/// [`SessionSpec::to_kv`] renders that canonical form and
+/// [`SessionSpec::parse_kv`] reads it back; the two round-trip exactly
+/// (including `threshold=inf`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpec {
+    /// Number of parts to maintain (`parts=`, mandatory, > 0).
+    pub parts: u32,
+    /// Registry name of the full partitioner used for the opening solve
+    /// and escalations (`method=`, default `mlga`). Validated at open
+    /// time by the injected [`MethodResolver`].
+    pub method: String,
+    /// Dirty-frontier refinement engine (`refine=`, default `fm`).
+    pub refine: RefineScheme,
+    /// RNG seed (`seed=`, decimal or `0x`-hex; default
+    /// [`DEFAULT_SESSION_SEED`]).
+    pub seed: u64,
+    /// Escalation threshold as a multiple of the epoch baseline cut
+    /// (`threshold=`, default 1.5; `inf` disables escalation).
+    pub threshold: f64,
+    /// Refinement frontier radius in BFS hops (`hops=`, default 2).
+    pub hops: usize,
+}
+
+impl SessionSpec {
+    /// The defaults every surface shares, for `parts` parts.
+    pub fn new(parts: u32) -> Self {
+        SessionSpec {
+            parts,
+            method: "mlga".to_string(),
+            refine: RefineScheme::default(),
+            seed: DEFAULT_SESSION_SEED,
+            threshold: 1.5,
+            hops: 2,
+        }
     }
 
-    /// Sets the escalation threshold.
-    pub fn with_escalate_ratio(mut self, ratio: f64) -> Self {
-        self.escalate_ratio = ratio;
-        self
+    /// Sets one parameter from its textual form — the one validation
+    /// path behind both `key=value` specs and CLI flags.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::UnknownKey`] / [`SpecError::BadValue`].
+    // gapart-lint: allow(panic-reach) -- std `str::parse` on primitives; the Baseline::parse edge is a name-collision false positive
+    pub fn set(&mut self, key: &str, value: &str) -> Result<(), SpecError> {
+        let bad = || SpecError::BadValue {
+            key: key.to_string(),
+            value: value.to_string(),
+        };
+        match key {
+            "parts" => {
+                self.parts = value.parse().ok().filter(|&p| p > 0).ok_or_else(bad)?;
+            }
+            "method" => {
+                self.method = value.to_string();
+            }
+            "refine" => {
+                self.refine = RefineScheme::by_name(value).ok_or_else(bad)?;
+            }
+            "seed" => {
+                let parsed = match value
+                    .strip_prefix("0x")
+                    .or_else(|| value.strip_prefix("0X"))
+                {
+                    Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                    None => value.parse().ok(),
+                };
+                self.seed = parsed.ok_or_else(bad)?;
+            }
+            "threshold" => {
+                self.threshold = value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| *t > 0.0 && !t.is_nan())
+                    .ok_or_else(bad)?;
+            }
+            "hops" => {
+                self.hops = value.parse().map_err(|_| bad())?;
+            }
+            _ => return Err(SpecError::UnknownKey(key.to_string())),
+        }
+        Ok(())
     }
 
-    /// Sets the refinement frontier size in BFS hops.
-    pub fn with_frontier_hops(mut self, hops: usize) -> Self {
-        self.frontier_hops = hops;
-        self
+    /// Parses a whitespace-separated `key=value` spec. `parts=` is
+    /// mandatory; every other key falls back to its default.
+    ///
+    /// # Errors
+    ///
+    /// See [`SpecError`].
+    // gapart-lint: allow(panic-reach) -- inherits `set`'s std-parse name-collision false positive
+    pub fn parse_kv(text: &str) -> Result<Self, SpecError> {
+        let mut spec = SessionSpec::new(0);
+        let mut saw_parts = false;
+        for tok in text.split_whitespace() {
+            let (key, value) = tok
+                .split_once('=')
+                .ok_or_else(|| SpecError::Malformed(tok.to_string()))?;
+            spec.set(key, value)?;
+            saw_parts |= key == "parts";
+        }
+        if !saw_parts {
+            return Err(SpecError::MissingParts);
+        }
+        Ok(spec)
     }
 
-    /// Sets the dirty-frontier refinement engine.
-    pub fn with_refine_scheme(mut self, scheme: RefineScheme) -> Self {
-        self.refine_scheme = scheme;
-        self
+    /// Renders the canonical `key=value` form. `parse_kv ∘ to_kv` is
+    /// the identity; the serve tape records this string in its `open`
+    /// record so a recovery reconstructs the exact configuration.
+    pub fn to_kv(&self) -> String {
+        format!(
+            "parts={} method={} refine={} seed={} threshold={} hops={}",
+            self.parts,
+            self.method,
+            self.refine.name(),
+            self.seed,
+            self.threshold,
+            self.hops
+        )
     }
+
+    /// Lowers the spec to the session's internal knob struct.
+    pub fn config(&self) -> DynamicConfig {
+        DynamicConfig {
+            num_parts: self.parts,
+            seed: self.seed,
+            refine_scheme: self.refine,
+            frontier_hops: self.hops,
+            escalate_ratio: self.threshold,
+            ..DynamicConfig::default()
+        }
+    }
+
+    /// Resolves the method and opens a fresh session on `graph` (full
+    /// solve, epoch 1). See [`DynamicSession::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::UnknownMethod`] when `resolver` does not know
+    /// [`SessionSpec::method`]; otherwise as [`DynamicSession::new`].
+    pub fn open(
+        &self,
+        graph: CsrGraph,
+        resolver: MethodResolver,
+    ) -> Result<DynamicSession, DynamicError> {
+        let full = resolver(&self.method, self.refine)
+            .ok_or_else(|| DynamicError::UnknownMethod(self.method.clone()))?;
+        DynamicSession::new(graph, full, self.config())
+    }
+
+    /// Resolves the method and restores a session around persisted
+    /// `(graph, partition, state)` — the serve daemon's
+    /// snapshot-recovery path. See [`DynamicSession::resume`].
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::UnknownMethod`] when `resolver` does not know
+    /// [`SessionSpec::method`]; otherwise as [`DynamicSession::resume`].
+    // gapart-lint: allow(panic-reach) -- cut_size indexing is unreachable: check_pair validates labels/graph shape first
+    pub fn resume(
+        &self,
+        graph: CsrGraph,
+        partition: Partition,
+        state: SessionState,
+        resolver: MethodResolver,
+    ) -> Result<DynamicSession, DynamicError> {
+        let full = resolver(&self.method, self.refine)
+            .ok_or_else(|| DynamicError::UnknownMethod(self.method.clone()))?;
+        DynamicSession::resume(graph, partition, full, self.config(), state)
+    }
+}
+
+/// The part of a [`DynamicSession`]'s state that is not the graph or
+/// the partition: the counters a persisted session must restore for a
+/// resumed run to be bit-identical to an uninterrupted one.
+///
+/// `batches` feeds the per-batch sub-seed derivation, `epoch` and
+/// `baseline_cut` drive escalation, and `current_cut` doubles as an
+/// integrity check on resume (it must equal the recomputed cut of the
+/// restored partition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionState {
+    /// Batches absorbed so far (the next batch's 0-based index).
+    pub batches: usize,
+    /// Full solves so far (see [`DynamicSession::epoch`]).
+    pub epoch: usize,
+    /// The cut the current epoch started from.
+    pub baseline_cut: u64,
+    /// The maintained cut of the partition.
+    pub current_cut: u64,
 }
 
 /// How a batch was absorbed.
@@ -268,6 +507,62 @@ impl DynamicSession {
         full: Box<dyn Partitioner>,
         config: DynamicConfig,
     ) -> Result<Self, DynamicError> {
+        Self::check_pair(&graph, &partition, &config)?;
+        let cut = cut_size(&graph, &partition);
+        Ok(Self::assemble(
+            graph,
+            partition,
+            full,
+            config,
+            // No full solve has run: the supplied partition is the
+            // epoch-0 baseline.
+            SessionState {
+                batches: 0,
+                epoch: 0,
+                baseline_cut: cut,
+                current_cut: cut,
+            },
+        ))
+    }
+
+    /// Restores a session from persisted `(graph, partition, state)` —
+    /// the crash-recovery path: a tape snapshot carries exactly these
+    /// three plus the [`SessionSpec`]. Restoring `state.batches` keeps
+    /// the per-batch sub-seed derivation aligned, so replaying the
+    /// post-snapshot tail reproduces the uninterrupted run bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::Seed`] if `partition` does not cover `graph` or
+    /// disagrees with the configured part count;
+    /// [`DynamicError::Resume`] if the recomputed cut of the restored
+    /// partition disagrees with `state.current_cut` (a corrupt or
+    /// mismatched snapshot).
+    // gapart-lint: allow(panic-reach) -- cut_size indexing is unreachable: check_pair validates labels/graph shape first
+    pub fn resume(
+        graph: CsrGraph,
+        partition: Partition,
+        full: Box<dyn Partitioner>,
+        config: DynamicConfig,
+        state: SessionState,
+    ) -> Result<Self, DynamicError> {
+        Self::check_pair(&graph, &partition, &config)?;
+        let actual = cut_size(&graph, &partition);
+        if actual != state.current_cut {
+            return Err(DynamicError::Resume(format!(
+                "snapshot says cut {}, restored partition has cut {actual}",
+                state.current_cut
+            )));
+        }
+        Ok(Self::assemble(graph, partition, full, config, state))
+    }
+
+    /// Shared shape check for externally supplied partitions.
+    fn check_pair(
+        graph: &CsrGraph,
+        partition: &Partition,
+        config: &DynamicConfig,
+    ) -> Result<(), DynamicError> {
         if partition.num_nodes() != graph.num_nodes() || partition.num_parts() != config.num_parts {
             return Err(DynamicError::Seed(GaError::BadSeed {
                 message: format!(
@@ -279,22 +574,40 @@ impl DynamicSession {
                 ),
             }));
         }
-        let cut = cut_size(&graph, &partition);
-        Ok(DynamicSession {
+        Ok(())
+    }
+
+    fn assemble(
+        graph: CsrGraph,
+        partition: Partition,
+        full: Box<dyn Partitioner>,
+        config: DynamicConfig,
+        state: SessionState,
+    ) -> Self {
+        DynamicSession {
             graph,
             partition,
             full,
             config,
-            baseline_cut: cut,
-            current_cut: cut,
-            // No full solve has run: the supplied partition is the
-            // epoch-0 baseline.
-            epoch: 0,
-            batches: 0,
+            baseline_cut: state.baseline_cut,
+            current_cut: state.current_cut,
+            epoch: state.epoch,
+            batches: state.batches,
             history: Vec::new(),
             fm: FmRefiner::new(),
             pfm: ParallelFm::new(),
-        })
+        }
+    }
+
+    /// The restorable counters — what a snapshot must persist alongside
+    /// the graph and partition (see [`DynamicSession::resume`]).
+    pub fn state(&self) -> SessionState {
+        SessionState {
+            batches: self.batches,
+            epoch: self.epoch,
+            baseline_cut: self.baseline_cut,
+            current_cut: self.current_cut,
+        }
     }
 
     /// The current graph.
@@ -348,12 +661,13 @@ impl DynamicSession {
             .wrapping_add((self.batches as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
-    /// Applies one mutation batch; returns the record it appended.
+    /// Applies one mutation batch; returns the record it appended (the
+    /// same value [`DynamicSession::history`] retains).
     ///
     /// # Errors
     ///
     /// See [`DynamicError`]; on error the session is unchanged.
-    pub fn apply_batch(&mut self, batch: &[Mutation]) -> Result<&BatchRecord, DynamicError> {
+    pub fn apply_batch(&mut self, batch: &[Mutation]) -> Result<BatchRecord, DynamicError> {
         let (graph, dirty) = apply_batch(&self.graph, batch)?;
         let seed = self.batch_seed();
         let n_old = self.partition.num_nodes();
@@ -474,7 +788,7 @@ impl DynamicSession {
         self.graph = graph;
         self.partition = partition;
         self.current_cut = cut_after;
-        self.history.push(BatchRecord {
+        let record = BatchRecord {
             batch: self.batches,
             epoch: self.epoch,
             mutations: batch.len(),
@@ -484,9 +798,10 @@ impl DynamicSession {
             cut_after,
             refine,
             action,
-        });
+        };
+        self.history.push(record.clone());
         self.batches += 1;
-        Ok(self.history.last().expect("just pushed"))
+        Ok(record)
     }
 
     /// Replays a whole trace, stopping at the first error.
@@ -525,7 +840,10 @@ mod tests {
         DynamicSession::new(
             jittered_mesh(n, 11),
             mlga(),
-            DynamicConfig::new(parts).with_seed(5),
+            DynamicConfig {
+                seed: 5,
+                ..DynamicConfig::new(parts)
+            },
         )
         .unwrap()
     }
@@ -546,7 +864,7 @@ mod tests {
         let a = log.add_node(1, Some(gapart_graph::Point2::new(0.5, 0.5)));
         log.add_edge(a, 10, 1);
         log.add_edge(a, 20, 1);
-        let rec = s.apply_batch(log.ops()).unwrap().clone();
+        let rec = s.apply_batch(log.ops()).unwrap();
         assert_eq!(rec.action, BatchAction::Incremental);
         assert_eq!(rec.new_nodes, 1);
         assert_eq!(s.partition().num_nodes(), 151);
@@ -584,7 +902,11 @@ mod tests {
         let mut s = DynamicSession::new(
             g,
             mlga(),
-            DynamicConfig::new(4).with_seed(5).with_escalate_ratio(0.0),
+            DynamicConfig {
+                seed: 5,
+                escalate_ratio: 0.0,
+                ..DynamicConfig::new(4)
+            },
         )
         .unwrap();
         let trace = generate(
@@ -609,9 +931,11 @@ mod tests {
         let mut s = DynamicSession::new(
             g,
             mlga(),
-            DynamicConfig::new(4)
-                .with_seed(5)
-                .with_escalate_ratio(f64::INFINITY),
+            DynamicConfig {
+                seed: 5,
+                escalate_ratio: f64::INFINITY,
+                ..DynamicConfig::new(4)
+            },
         )
         .unwrap();
         s.replay(&trace).unwrap();
@@ -624,7 +948,11 @@ mod tests {
         let mut s = DynamicSession::new(
             g,
             mlga(),
-            DynamicConfig::new(4).with_seed(9).with_escalate_ratio(0.0),
+            DynamicConfig {
+                seed: 9,
+                escalate_ratio: 0.0,
+                ..DynamicConfig::new(4)
+            },
         )
         .unwrap();
         let trace = generate(
@@ -701,6 +1029,126 @@ mod tests {
         assert!(matches!(
             DynamicSession::with_partition(g, wrong, mlga(), DynamicConfig::new(4)).unwrap_err(),
             DynamicError::Seed(_)
+        ));
+    }
+
+    /// Resolver over the test `mlga`, matching the [`MethodResolver`]
+    /// shape the CLI and daemon inject.
+    fn resolve(name: &str, _scheme: RefineScheme) -> Option<Box<dyn Partitioner>> {
+        (name == "mlga").then(mlga)
+    }
+
+    #[test]
+    fn spec_parses_validates_and_round_trips() {
+        let spec =
+            SessionSpec::parse_kv("parts=4 seed=0x2A threshold=inf hops=3 refine=pfm").unwrap();
+        assert_eq!(spec.parts, 4);
+        assert_eq!(spec.seed, 42);
+        assert_eq!(spec.threshold, f64::INFINITY);
+        assert_eq!(spec.hops, 3);
+        assert_eq!(spec.refine, RefineScheme::ParallelFm);
+        assert_eq!(spec.method, "mlga", "default survives partial specs");
+        // Canonical form round-trips exactly, including the inf threshold.
+        assert_eq!(SessionSpec::parse_kv(&spec.to_kv()).unwrap(), spec);
+        let dflt = SessionSpec::new(2);
+        assert_eq!(SessionSpec::parse_kv(&dflt.to_kv()).unwrap(), dflt);
+
+        assert_eq!(
+            SessionSpec::parse_kv("seed=1").unwrap_err(),
+            SpecError::MissingParts
+        );
+        assert_eq!(
+            SessionSpec::parse_kv("parts=0").unwrap_err(),
+            SpecError::BadValue {
+                key: "parts".into(),
+                value: "0".into()
+            }
+        );
+        assert!(matches!(
+            SessionSpec::parse_kv("parts=2 frob=1").unwrap_err(),
+            SpecError::UnknownKey(_)
+        ));
+        assert!(matches!(
+            SessionSpec::parse_kv("parts=2 nodice").unwrap_err(),
+            SpecError::Malformed(_)
+        ));
+        assert!(matches!(
+            SessionSpec::parse_kv("parts=2 refine=quantum").unwrap_err(),
+            SpecError::BadValue { .. }
+        ));
+        assert!(matches!(
+            SessionSpec::parse_kv("parts=2 threshold=-1").unwrap_err(),
+            SpecError::BadValue { .. }
+        ));
+    }
+
+    #[test]
+    fn spec_open_resolves_the_method() {
+        let spec = SessionSpec {
+            seed: 5,
+            ..SessionSpec::new(4)
+        };
+        let s = spec.open(jittered_mesh(120, 11), resolve).unwrap();
+        assert_eq!(s.epoch(), 1);
+        assert_eq!(s.config().num_parts, 4);
+        assert_eq!(s.config().seed, 5);
+
+        let unknown = SessionSpec {
+            method: "frob".into(),
+            ..SessionSpec::new(4)
+        };
+        assert!(matches!(
+            unknown.open(jittered_mesh(120, 11), resolve).unwrap_err(),
+            DynamicError::UnknownMethod(m) if m == "frob"
+        ));
+    }
+
+    #[test]
+    fn resume_restores_counters_and_checks_the_cut() {
+        // Run a session halfway, capture its state, and resume a clone
+        // from (graph, partition, state): the continuations must agree
+        // batch for batch — the crash-recovery determinism contract.
+        let trace = generate(
+            &jittered_mesh(150, 11),
+            Scenario::RandomChurn,
+            &TraceSpec {
+                batches: 6,
+                ops_per_batch: 10,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        let mut live = session(150, 4);
+        live.replay(&trace[..3]).unwrap();
+
+        let mut resumed = DynamicSession::resume(
+            live.graph().clone(),
+            live.partition().clone(),
+            mlga(),
+            *live.config(),
+            live.state(),
+        )
+        .unwrap();
+        assert_eq!(resumed.state(), live.state());
+
+        live.replay(&trace[3..]).unwrap();
+        resumed.replay(&trace[3..]).unwrap();
+        assert_eq!(resumed.partition(), live.partition());
+        assert_eq!(resumed.state(), live.state());
+
+        // A tampered cut is rejected.
+        let mut bad = live.state();
+        bad.current_cut += 1;
+        assert!(matches!(
+            DynamicSession::resume(
+                live.graph().clone(),
+                live.partition().clone(),
+                mlga(),
+                *live.config(),
+                bad,
+            )
+            .unwrap_err(),
+            DynamicError::Resume(_)
         ));
     }
 

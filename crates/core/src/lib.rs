@@ -45,7 +45,10 @@ pub mod selection;
 pub mod topology;
 
 pub use dpga::{DpgaConfig, DpgaEngine, DpgaResult, MigrationPolicy};
-pub use dynamic::{BatchAction, BatchRecord, DynamicConfig, DynamicError, DynamicSession};
+pub use dynamic::{
+    BatchAction, BatchRecord, DynamicConfig, DynamicError, DynamicSession, MethodResolver,
+    SessionSpec, SessionState, SpecError, DEFAULT_SESSION_SEED,
+};
 pub use engine::{GaConfig, GaEngine, GaResult, HillClimbMode};
 pub use error::GaError;
 pub use fitness::{FitnessEvaluator, FitnessKind};

@@ -15,6 +15,8 @@
 //!   adjacency rows, instead of the builder's full `O(E log E)` path.
 //! * [`DirtyRegion`] — the nodes a batch touched, expandable by BFS to
 //!   the refinement frontier ([`DirtyRegion::frontier`]).
+//! * [`wire`] — the one mutation codec every transport shares (trace
+//!   files, the serve protocol, the JSONL session tape).
 //! * [`trace`] — a line-oriented text format for mutation traces, so
 //!   streams can be recorded, replayed and diffed.
 //! * [`scenario`] — deterministic trace generators (mesh-refinement
@@ -30,6 +32,7 @@ use crate::geometry::Point2;
 
 pub mod scenario;
 pub mod trace;
+pub mod wire;
 
 /// One structural event in a mutation stream.
 ///

@@ -19,20 +19,16 @@
 //! * `weight <node> <weight>` — [`Mutation::SetNodeWeight`].
 //! * `commit` — ends the current batch.
 //!
+//! The mutation lines are the shared [`super::wire`] grammar — the same
+//! codec the `serve` daemon's protocol and JSONL session tape use — so
+//! this module only adds the batch framing (`commit` lines, comments) on
+//! top of [`wire::parse_mutation`] / [`wire::format_mutation`].
+//!
 //! The format round-trips: [`parse_trace`] ∘ [`trace_to_text`] is the
 //! identity on any trace without empty batches.
 
-use super::Mutation;
+use super::{wire, Mutation};
 use crate::error::GraphError;
-use crate::geometry::Point2;
-use std::fmt::Write as _;
-
-fn parse_num<T: std::str::FromStr>(tok: &str, line: usize, what: &str) -> Result<T, GraphError> {
-    tok.parse().map_err(|_| GraphError::Parse {
-        line,
-        message: format!("bad {what} '{tok}'"),
-    })
-}
 
 /// Parses a mutation trace from its text form.
 ///
@@ -45,43 +41,18 @@ pub fn parse_trace(text: &str) -> Result<Vec<Vec<Mutation>>, GraphError> {
     let mut batches: Vec<Vec<Mutation>> = Vec::new();
     let mut current: Vec<Mutation> = Vec::new();
     for (i, raw) in text.lines().enumerate() {
-        let line_no = i + 1;
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let toks: Vec<&str> = line.split_whitespace().collect();
-        match (toks[0], toks.len()) {
-            ("commit", 1) => {
-                batches.push(std::mem::take(&mut current));
-            }
-            ("node", 2) => current.push(Mutation::AddNode {
-                weight: parse_num(toks[1], line_no, "node weight")?,
-                pos: None,
-            }),
-            ("node", 4) => current.push(Mutation::AddNode {
-                weight: parse_num(toks[1], line_no, "node weight")?,
-                pos: Some(Point2::new(
-                    parse_num(toks[2], line_no, "x coordinate")?,
-                    parse_num(toks[3], line_no, "y coordinate")?,
-                )),
-            }),
-            ("edge", 4) => current.push(Mutation::AddEdge {
-                u: parse_num(toks[1], line_no, "node id")?,
-                v: parse_num(toks[2], line_no, "node id")?,
-                weight: parse_num(toks[3], line_no, "edge weight")?,
-            }),
-            ("weight", 3) => current.push(Mutation::SetNodeWeight {
-                node: parse_num(toks[1], line_no, "node id")?,
-                weight: parse_num(toks[2], line_no, "node weight")?,
-            }),
-            (op, n) => {
-                return Err(GraphError::Parse {
-                    line: line_no,
-                    message: format!("unknown or malformed op '{op}' with {} operand(s)", n - 1),
-                })
-            }
+        if line == "commit" {
+            batches.push(std::mem::take(&mut current));
+            continue;
         }
+        current.push(wire::parse_mutation(line).map_err(|e| GraphError::Parse {
+            line: i + 1,
+            message: e.0,
+        })?);
     }
     if !current.is_empty() {
         batches.push(current);
@@ -94,23 +65,8 @@ pub fn trace_to_text(batches: &[Vec<Mutation>]) -> String {
     let mut out = String::new();
     for batch in batches {
         for m in batch {
-            match m {
-                Mutation::AddNode { weight, pos: None } => {
-                    let _ = writeln!(out, "node {weight}");
-                }
-                Mutation::AddNode {
-                    weight,
-                    pos: Some(p),
-                } => {
-                    let _ = writeln!(out, "node {weight} {} {}", p.x, p.y);
-                }
-                Mutation::AddEdge { u, v, weight } => {
-                    let _ = writeln!(out, "edge {u} {v} {weight}");
-                }
-                Mutation::SetNodeWeight { node, weight } => {
-                    let _ = writeln!(out, "weight {node} {weight}");
-                }
-            }
+            out.push_str(&wire::format_mutation(m));
+            out.push('\n');
         }
         out.push_str("commit\n");
     }
@@ -120,6 +76,7 @@ pub fn trace_to_text(batches: &[Vec<Mutation>]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::geometry::Point2;
 
     #[test]
     fn parses_the_doc_example() {

@@ -57,6 +57,13 @@ pub enum GraphError {
     },
     /// The operation requires vertex coordinates but the graph has none.
     MissingCoordinates,
+    /// A coordinate set did not match the graph's node count.
+    CoordsMismatch {
+        /// Number of coordinates supplied.
+        coords: usize,
+        /// Number of nodes in the graph.
+        nodes: usize,
+    },
     /// The operation requires a connected graph.
     Disconnected {
         /// Number of connected components found.
@@ -97,6 +104,9 @@ impl fmt::Display for GraphError {
                 write!(f, "parse error at line {line}: {message}")
             }
             GraphError::MissingCoordinates => write!(f, "graph has no vertex coordinates"),
+            GraphError::CoordsMismatch { coords, nodes } => {
+                write!(f, "{coords} coordinates for {nodes} nodes")
+            }
             GraphError::Disconnected { components } => {
                 write!(f, "graph is disconnected ({components} components)")
             }

@@ -239,6 +239,29 @@ pub fn from_metis(text: &str) -> Result<CsrGraph, GraphError> {
     Ok(g)
 }
 
+/// Returns a copy of `graph` with `coords` attached (METIS files carry
+/// no positions, so coordinate-needing callers — the CLI's `--coords`
+/// flag, the serve daemon's tape recovery — re-attach them after
+/// [`from_metis`]).
+///
+/// # Errors
+///
+/// [`GraphError::CoordsMismatch`] when the coordinate count does not
+/// match the node count.
+pub fn attach_coords(graph: &CsrGraph, coords: Vec<Point2>) -> Result<CsrGraph, GraphError> {
+    if coords.len() != graph.num_nodes() {
+        return Err(GraphError::CoordsMismatch {
+            coords: coords.len(),
+            nodes: graph.num_nodes(),
+        });
+    }
+    Ok(CsrGraph {
+        topo: graph.topo.clone(),
+        vweights: graph.vweights.clone(),
+        coords: Some(coords),
+    })
+}
+
 /// Serializes vertex coordinates, one `x y` pair per line.
 pub fn coords_to_text(coords: &[Point2]) -> String {
     let mut out = String::new();

@@ -223,6 +223,22 @@ pub fn cut_size(graph: &CsrGraph, partition: &Partition) -> u64 {
     cut
 }
 
+/// FNV-1a hash of a label vector, as 16 hex digits — the workspace's
+/// determinism witness. The bench trajectory schema, the CLI `stream`
+/// report, and the `serve` daemon's `query` reply all emit this hash, so
+/// any two runs (live, tape replay, different thread counts) can be
+/// compared for bit-identity by comparing one short string.
+pub fn hash_labels(labels: &[u32]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &l in labels {
+        for b in l.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    format!("{h:016x}")
+}
+
 /// Nodes with at least one neighbour in a different part — the "boundary
 /// points" that the paper's hill-climbing step examines (§3.6).
 pub fn boundary_nodes(graph: &CsrGraph, partition: &Partition) -> Vec<u32> {

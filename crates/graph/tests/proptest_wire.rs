@@ -1,0 +1,84 @@
+//! Round-trip properties for the unified mutation wire codec.
+//!
+//! `parse ∘ format` must be the identity at every framing level — single
+//! mutations, `;`-joined batches, and whole traces — because the CLI
+//! `trace`/`stream` paths, the serve protocol, and the JSONL session tape
+//! all rely on the text form preserving mutations bit for bit.
+
+use gapart_graph::dynamic::trace::{parse_trace, trace_to_text};
+use gapart_graph::dynamic::wire::{format_batch, format_mutation, parse_batch, parse_mutation};
+use gapart_graph::dynamic::Mutation;
+use gapart_graph::geometry::Point2;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Strategy: one arbitrary mutation, covering every op and both
+/// positioned and position-free node adds. Coordinates draw from the
+/// full finite `f64` strategy so shortest-round-trip formatting is
+/// exercised on "ugly" values, not just short decimals.
+fn arb_mutation() -> impl Strategy<Value = Mutation> {
+    (
+        0u32..4,
+        any::<u32>(),
+        any::<u32>(),
+        1u32..1_000_000,
+        any::<f64>(),
+        any::<f64>(),
+    )
+        .prop_map(|(tag, a, b, w, x, y)| match tag {
+            0 => Mutation::AddNode {
+                weight: w,
+                pos: None,
+            },
+            1 => Mutation::AddNode {
+                weight: w,
+                pos: Some(Point2::new(x, y)),
+            },
+            2 => Mutation::AddEdge {
+                u: a,
+                v: b,
+                weight: w,
+            },
+            _ => Mutation::SetNodeWeight { node: a, weight: w },
+        })
+}
+
+/// Strategy: a batch of 0–12 mutations.
+fn arb_batch() -> impl Strategy<Value = Vec<Mutation>> {
+    vec(arb_mutation(), 0..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mutation_round_trips(m in arb_mutation()) {
+        let line = format_mutation(&m);
+        prop_assert_eq!(parse_mutation(&line).unwrap(), m);
+    }
+
+    #[test]
+    fn batch_round_trips(batch in arb_batch()) {
+        let line = format_batch(&batch);
+        // Single line: the tape stores one batch per JSONL record field.
+        prop_assert!(!line.contains('\n'));
+        prop_assert_eq!(parse_batch(&line).unwrap(), batch);
+    }
+
+    #[test]
+    fn trace_round_trips(batches in vec(arb_batch(), 0..6)) {
+        let text = trace_to_text(&batches);
+        prop_assert_eq!(parse_trace(&text).unwrap(), batches);
+    }
+
+    /// The trace format and the batch wire format agree mutation-for-
+    /// mutation: flattening a parsed trace equals parsing each batch's
+    /// wire line. This pins `trace` and the serve tape to one grammar.
+    #[test]
+    fn trace_and_batch_framings_agree(batches in vec(arb_batch(), 1..5)) {
+        let reparsed = parse_trace(&trace_to_text(&batches)).unwrap();
+        for (orig, round) in batches.iter().zip(&reparsed) {
+            prop_assert_eq!(parse_batch(&format_batch(orig)).unwrap(), round.clone());
+        }
+    }
+}

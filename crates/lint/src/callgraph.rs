@@ -253,11 +253,52 @@ fn resolve_bare(
 /// unique-in-the-workspace tier for *method* calls (local tiers still
 /// apply, so a file can define and call its own `expect`).
 const STD_METHODS: &[&str] = &[
-    "expect", "unwrap", "unwrap_or", "clone", "len", "is_empty", "push", "pop", "insert",
-    "remove", "get", "get_mut", "iter", "iter_mut", "into_iter", "next", "collect", "map",
-    "filter", "fold", "sum", "min", "max", "abs", "take", "replace", "extend", "sort",
-    "sort_by", "contains", "to_string", "to_owned", "as_ref", "as_mut", "write", "read",
-    "cmp", "eq", "fmt", "resize", "clear", "first", "last", "position", "find", "count",
+    "expect",
+    "unwrap",
+    "unwrap_or",
+    "clone",
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "collect",
+    "map",
+    "filter",
+    "fold",
+    "sum",
+    "min",
+    "max",
+    "abs",
+    "take",
+    "replace",
+    "extend",
+    "sort",
+    "sort_by",
+    "contains",
+    "to_string",
+    "to_owned",
+    "as_ref",
+    "as_mut",
+    "write",
+    "read",
+    "cmp",
+    "eq",
+    "fmt",
+    "resize",
+    "clear",
+    "first",
+    "last",
+    "position",
+    "find",
+    "count",
 ];
 
 #[cfg(test)]
@@ -356,10 +397,7 @@ mod tests {
     fn unique_in_workspace_resolves_without_import() {
         let g = graph_of(&[
             ("crates/graph/src/a.rs", "pub fn only_here() {}\n"),
-            (
-                "crates/core/src/b.rs",
-                "pub fn go() { only_here(); }\n",
-            ),
+            ("crates/core/src/b.rs", "pub fn go() { only_here(); }\n"),
         ]);
         let e = edge(&g, "go", "only_here").expect("edge");
         assert!(!e.ambiguous);
@@ -421,7 +459,10 @@ mod tests {
             "crates/graph/src/a.rs",
             "pub fn outer() {\n  fn inner() {\n    body();\n  }\n  inner();\n}\n",
         )]);
-        let at = |line| g.enclosing("crates/graph/src/a.rs", line).map(|i| g.fns[i].name.clone());
+        let at = |line| {
+            g.enclosing("crates/graph/src/a.rs", line)
+                .map(|i| g.fns[i].name.clone())
+        };
         assert_eq!(at(3).as_deref(), Some("inner"));
         assert_eq!(at(5).as_deref(), Some("outer"));
         assert_eq!(at(7), None);

@@ -112,7 +112,8 @@ fn tokenize(code: &str) -> Vec<Tok> {
         } else if c.is_ascii_digit() {
             // Skip number literals wholesale (incl. suffixes) so `0f64`
             // does not read as an ident.
-            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '.' || chars[i] == '_')
+            while i < chars.len()
+                && (chars[i].is_ascii_alphanumeric() || chars[i] == '.' || chars[i] == '_')
             {
                 i += 1;
             }
@@ -175,8 +176,7 @@ fn parse_use(text: &str, out: &mut Vec<(String, Vec<String>)>) {
         let mut start = 0;
         let inner_b = inner.as_bytes();
         for k in 0..=inner.len() {
-            let split = k == inner.len()
-                || (inner_b[k] == b',' && depth == 0);
+            let split = k == inner.len() || (inner_b[k] == b',' && depth == 0);
             if k < inner.len() {
                 match inner_b[k] {
                     b'{' => depth += 1,
@@ -276,13 +276,24 @@ pub fn extract(rel: &str, file: &StrippedFile) -> FileItems {
     #[derive(Debug, Clone, PartialEq)]
     enum Mode {
         Code,
-        AwaitFnName { is_pub: bool, line: usize },
+        AwaitFnName {
+            is_pub: bool,
+            line: usize,
+        },
         FnHeader,
         AwaitModName,
-        ImplHeader { angle: i32 },
-        TraitHeader { named: bool },
+        ImplHeader {
+            angle: i32,
+        },
+        TraitHeader {
+            named: bool,
+        },
         UseDecl(String),
-        Turbofish { angle: i32, method: bool, segments: Vec<String> },
+        Turbofish {
+            angle: i32,
+            method: bool,
+            segments: Vec<String>,
+        },
     }
 
     let mut mode = Mode::Code;
@@ -346,8 +357,7 @@ pub fn extract(rel: &str, file: &StrippedFile) -> FileItems {
                 }
                 Mode::AwaitFnName { is_pub, line: fl } => {
                     if let Tok::Ident(name) = &tok {
-                        pending_fn =
-                            Some((name.clone(), fl, is_pub, file.lines[fl - 1].in_test));
+                        pending_fn = Some((name.clone(), fl, is_pub, file.lines[fl - 1].in_test));
                         mode = Mode::FnHeader;
                     } else if pending_fn.is_some() {
                         // `fn(u32)` pointer type inside a signature we
@@ -393,12 +403,11 @@ pub fn extract(rel: &str, file: &StrippedFile) -> FileItems {
                 }
                 Mode::TraitHeader { mut named } => {
                     match &tok {
-                        Tok::Ident(s) => {
-                            if !named {
-                                pending_ty = Some(s.clone());
-                                named = true;
-                            }
+                        Tok::Ident(s) if !named => {
+                            pending_ty = Some(s.clone());
+                            named = true;
                         }
+                        Tok::Ident(_) => {}
                         Tok::Sym('{') => {
                             if let Some(t) = pending_ty.take() {
                                 ty_stack.push((t, depth));
@@ -415,7 +424,11 @@ pub fn extract(rel: &str, file: &StrippedFile) -> FileItems {
                     mode = Mode::TraitHeader { named };
                     continue;
                 }
-                Mode::Turbofish { mut angle, method, segments } => {
+                Mode::Turbofish {
+                    mut angle,
+                    method,
+                    segments,
+                } => {
                     match &tok {
                         Tok::Sym('<') => angle += 1,
                         Tok::Sym('>') => {
@@ -431,7 +444,11 @@ pub fn extract(rel: &str, file: &StrippedFile) -> FileItems {
                         }
                         _ => {}
                     }
-                    mode = Mode::Turbofish { angle, method, segments };
+                    mode = Mode::Turbofish {
+                        angle,
+                        method,
+                        segments,
+                    };
                     continue;
                 }
                 other @ (Mode::Code | Mode::FnHeader) => mode = other,
@@ -610,7 +627,10 @@ mod tests {
             file_mods("crates/graph/src/generators/grid.rs"),
             vec!["graph", "generators", "grid"]
         );
-        assert_eq!(file_mods("src/partitioners.rs"), vec!["gapart", "partitioners"]);
+        assert_eq!(
+            file_mods("src/partitioners.rs"),
+            vec!["gapart", "partitioners"]
+        );
     }
 
     #[test]
@@ -672,7 +692,10 @@ pub trait Runner {
         // Trait decl without body.
         assert_eq!(it.fns[2].body, None);
         // Method call recorded as method.
-        assert!(it.fns[0].calls.iter().any(|c| c.method && c.segments == ["tick"]));
+        assert!(it.fns[0]
+            .calls
+            .iter()
+            .any(|c| c.method && c.segments == ["tick"]));
     }
 
     #[test]

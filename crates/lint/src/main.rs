@@ -224,7 +224,9 @@ fn squeeze(text: &str) -> String {
 
 /// Escapes a message for a GitHub workflow-command annotation.
 fn gh_escape(s: &str) -> String {
-    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
 }
 
 fn report(r: &Ratchet, github: bool) {

@@ -268,7 +268,10 @@ mod tests {
         assert!(!in_scope("lib-panic", "crates/bench/src/runner.rs"));
         assert!(in_scope("par-side-effect", "crates/graph/src/fm.rs"));
         assert!(!in_scope("par-side-effect", "crates/bench/src/runner.rs"));
-        assert!(in_scope("float-reduce-order", "crates/graph/src/coarsen.rs"));
+        assert!(in_scope(
+            "float-reduce-order",
+            "crates/graph/src/coarsen.rs"
+        ));
         assert!(in_scope("panic-reach", "crates/graph/src/fm.rs"));
         assert!(in_scope("panic-reach", "crates/linalg/src/tridiag.rs"));
         assert!(!in_scope("panic-reach", "src/cli.rs"));

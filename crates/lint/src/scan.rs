@@ -354,8 +354,8 @@ fn group_has_test_word(group: &str) -> bool {
     while let Some(pos) = group[from..].find("test") {
         let at = from + pos;
         from = at + 4;
-        let before_ok = at == 0
-            || !matches!(bytes[at - 1], b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_');
+        let before_ok =
+            at == 0 || !matches!(bytes[at - 1], b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_');
         let after = at + 4;
         let after_ok = after >= bytes.len()
             || !matches!(bytes[after], b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_');

@@ -30,7 +30,10 @@ fn pub_api_reaching_a_panic_carries_the_exact_witness_path() {
         "panic-reach",
     );
     assert_eq!(f.len(), 1);
-    assert_eq!((f[0].file.as_str(), f[0].line), ("crates/graph/src/api.rs", 3));
+    assert_eq!(
+        (f[0].file.as_str(), f[0].line),
+        ("crates/graph/src/api.rs", 3)
+    );
     assert_eq!(
         f[0].excerpt,
         "graph::api::cut_cost -> graph::api::total -> graph::api::head: \
@@ -103,7 +106,10 @@ fn det_taint_reports_reachable_seed_with_entry_witness() {
         "det-taint",
     );
     assert_eq!(f.len(), 1);
-    assert_eq!((f[0].file.as_str(), f[0].line), ("crates/core/src/order.rs", 4));
+    assert_eq!(
+        (f[0].file.as_str(), f[0].line),
+        ("crates/core/src/order.rs", 4)
+    );
     assert_eq!(
         f[0].excerpt,
         "HashMap (det-hash-iter) reachable from \
@@ -120,7 +126,10 @@ fn det_seed_unreachable_from_entries_is_not_tainted() {
         fixture("det_taint_order.rs"),
     )];
     let all = scan_files(&inputs);
-    assert!(all.iter().all(|f| f.rule != "det-taint"), "unexpected: {all:?}");
+    assert!(
+        all.iter().all(|f| f.rule != "det-taint"),
+        "unexpected: {all:?}"
+    );
     assert!(all.iter().any(|f| f.rule == "det-hash-iter"));
 }
 

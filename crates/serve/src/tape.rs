@@ -1,0 +1,539 @@
+//! The durable session tape: append-only JSONL, one record per line.
+//!
+//! Every session the daemon manages writes its whole life to one tape
+//! file (`<tape-dir>/<name>.tape`):
+//!
+//! ```text
+//! {"t":"open","v":"1","spec":"parts=4 method=mlga ...","metis":"...","coords":"..."}
+//! {"t":"batch","seq":"0","muts":"node 1 0.5 0.5;edge 0 1 1"}
+//! {"t":"snapshot","batches":"8","epoch":"1","baseline_cut":"41","cut":"44","labels":"0 1 ...","metis":"...","coords":"..."}
+//! {"t":"close","seq":"8"}
+//! ```
+//!
+//! * The `open` record (always first) carries the canonical
+//!   [`gapart_core::SessionSpec`] `key=value` string and the initial
+//!   graph, so a recovery reconstructs the exact configuration.
+//! * One `batch` record per committed batch, written *after* the batch
+//!   applied successfully; `muts` is the single-line
+//!   [`gapart_graph::dynamic::wire`] batch form. `seq` is the batch's
+//!   0-based index — replay checks continuity.
+//! * `snapshot` records (periodic, plus one on close) carry the full
+//!   graph, labels, and the [`gapart_core::SessionState`] counters;
+//!   recovery loads the latest snapshot and replays only the batch
+//!   records after it.
+//! * A torn final line (the record a crash interrupted) is tolerated
+//!   and dropped; corruption anywhere else is an error.
+//!
+//! Records are flat JSON objects whose values are all strings — the
+//! scanner below handles exactly that shape, keeping the format
+//! greppable and diffable without pulling in a JSON dependency. Every
+//! append is flushed before the daemon replies, so an acknowledged
+//! commit survives a `SIGKILL`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::ServeError;
+
+/// One tape record, decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// First record of every tape: the session's spec and initial graph.
+    Open {
+        /// Canonical `key=value` spec string
+        /// ([`gapart_core::SessionSpec::to_kv`]).
+        spec: String,
+        /// The initial graph in METIS text form.
+        metis: String,
+        /// Vertex coordinates (`x y` per line), when the graph has them.
+        coords: Option<String>,
+    },
+    /// One committed mutation batch.
+    Batch {
+        /// 0-based batch index in the session.
+        seq: usize,
+        /// Single-line wire form of the batch
+        /// ([`gapart_graph::dynamic::wire::format_batch`]).
+        muts: String,
+    },
+    /// A full checkpoint of the session.
+    Snapshot(Snapshot),
+    /// Clean shutdown marker; `seq` is the number of batches absorbed.
+    Close {
+        /// Batches absorbed when the session closed.
+        seq: usize,
+    },
+}
+
+/// The payload of a [`Record::Snapshot`]: everything
+/// [`gapart_core::DynamicSession::resume`] needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Batches absorbed at snapshot time.
+    pub batches: usize,
+    /// Epoch counter (full solves so far).
+    pub epoch: usize,
+    /// The epoch's baseline cut.
+    pub baseline_cut: u64,
+    /// The maintained cut (doubles as a resume integrity check).
+    pub cut: u64,
+    /// Space-separated part labels, one per node.
+    pub labels: String,
+    /// The graph at snapshot time, METIS text form.
+    pub metis: String,
+    /// Vertex coordinates, when the graph has them.
+    pub coords: Option<String>,
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders `fields` as a single-line JSON object with string values.
+fn object_line(fields: &[(&str, &str)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(k, &mut out);
+        out.push_str("\":\"");
+        escape_into(v, &mut out);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Scans one flat `{"k":"v",...}` object (string values only).
+fn parse_object(line: &str) -> Result<BTreeMap<String, String>, String> {
+    let mut chars = line.trim().chars().peekable();
+    let mut fields = BTreeMap::new();
+
+    let skip_ws = |chars: &mut std::iter::Peekable<std::str::Chars>| {
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+    };
+    fn string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<String, String> {
+        if chars.next() != Some('"') {
+            return Err("expected '\"'".into());
+        }
+        let mut out = String::new();
+        loop {
+            match chars.next() {
+                None => return Err("unterminated string".into()),
+                Some('"') => return Ok(out),
+                Some('\\') => match chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = chars
+                                .next()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    if chars.next() != Some('{') {
+        return Err("expected '{'".into());
+    }
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+    } else {
+        loop {
+            skip_ws(&mut chars);
+            let key = string(&mut chars)?;
+            skip_ws(&mut chars);
+            if chars.next() != Some(':') {
+                return Err(format!("expected ':' after key '{key}'"));
+            }
+            skip_ws(&mut chars);
+            let value = string(&mut chars)?;
+            fields.insert(key, value);
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some(',') => continue,
+                Some('}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err("trailing characters after object".into());
+    }
+    Ok(fields)
+}
+
+impl Record {
+    /// Serializes the record to its one-line tape form (no newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Record::Open {
+                spec,
+                metis,
+                coords,
+            } => {
+                let mut fields = vec![("t", "open"), ("v", "1"), ("spec", spec), ("metis", metis)];
+                if let Some(c) = coords {
+                    fields.push(("coords", c));
+                }
+                object_line(&fields)
+            }
+            Record::Batch { seq, muts } => {
+                let seq = seq.to_string();
+                object_line(&[("t", "batch"), ("seq", &seq), ("muts", muts)])
+            }
+            Record::Snapshot(s) => {
+                let batches = s.batches.to_string();
+                let epoch = s.epoch.to_string();
+                let baseline = s.baseline_cut.to_string();
+                let cut = s.cut.to_string();
+                let mut fields = vec![
+                    ("t", "snapshot"),
+                    ("batches", batches.as_str()),
+                    ("epoch", epoch.as_str()),
+                    ("baseline_cut", baseline.as_str()),
+                    ("cut", cut.as_str()),
+                    ("labels", s.labels.as_str()),
+                    ("metis", s.metis.as_str()),
+                ];
+                if let Some(c) = &s.coords {
+                    fields.push(("coords", c));
+                }
+                object_line(&fields)
+            }
+            Record::Close { seq } => {
+                let seq = seq.to_string();
+                object_line(&[("t", "close"), ("seq", &seq)])
+            }
+        }
+    }
+
+    /// Parses one tape line. The message omits the line number; the
+    /// caller adds it.
+    pub fn parse_line(line: &str) -> Result<Record, String> {
+        let fields = parse_object(line)?;
+        let get = |k: &str| -> Result<&String, String> {
+            fields.get(k).ok_or_else(|| format!("missing field '{k}'"))
+        };
+        let num = |k: &str| -> Result<usize, String> {
+            get(k)?.parse().map_err(|_| format!("bad number in '{k}'"))
+        };
+        let num64 = |k: &str| -> Result<u64, String> {
+            get(k)?.parse().map_err(|_| format!("bad number in '{k}'"))
+        };
+        match get("t")?.as_str() {
+            "open" => {
+                if get("v")? != "1" {
+                    return Err(format!("unsupported tape version '{}'", get("v")?));
+                }
+                Ok(Record::Open {
+                    spec: get("spec")?.clone(),
+                    metis: get("metis")?.clone(),
+                    coords: fields.get("coords").cloned(),
+                })
+            }
+            "batch" => Ok(Record::Batch {
+                seq: num("seq")?,
+                muts: get("muts")?.clone(),
+            }),
+            "snapshot" => Ok(Record::Snapshot(Snapshot {
+                batches: num("batches")?,
+                epoch: num("epoch")?,
+                baseline_cut: num64("baseline_cut")?,
+                cut: num64("cut")?,
+                labels: get("labels")?.clone(),
+                metis: get("metis")?.clone(),
+                coords: fields.get("coords").cloned(),
+            })),
+            "close" => Ok(Record::Close { seq: num("seq")? }),
+            other => Err(format!("unknown record type '{other}'")),
+        }
+    }
+}
+
+/// Append-side handle on a session tape. Every [`TapeWriter::append`]
+/// flushes before returning, so a record the daemon acknowledged is in
+/// the page cache — a killed *process* loses nothing acknowledged
+/// (tolerating torn final lines covers the mid-write kill).
+#[derive(Debug)]
+pub struct TapeWriter {
+    path: PathBuf,
+    file: File,
+}
+
+impl TapeWriter {
+    /// Creates a fresh tape (the file must not exist yet).
+    pub fn create(path: &Path) -> Result<Self, ServeError> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)
+            .map_err(|e| ServeError::io(path, e))?;
+        Ok(TapeWriter {
+            path: path.to_path_buf(),
+            file,
+        })
+    }
+
+    /// Opens an existing tape for appending (the recovery path). A torn
+    /// final line — the crash artifact [`read_tape`] tolerates — is
+    /// truncated away first, so the next append starts a fresh line
+    /// instead of concatenating onto the fragment.
+    pub fn append_to(path: &Path) -> Result<Self, ServeError> {
+        let text = std::fs::read_to_string(path).map_err(|e| ServeError::io(path, e))?;
+        let keep = if text.ends_with('\n') {
+            text.len()
+        } else {
+            text.rfind('\n').map_or(0, |i| i + 1)
+        };
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| ServeError::io(path, e))?;
+        if keep < text.len() {
+            file.set_len(keep as u64)
+                .map_err(|e| ServeError::io(path, e))?;
+        }
+        Ok(TapeWriter {
+            path: path.to_path_buf(),
+            file,
+        })
+    }
+
+    /// Appends one record and flushes.
+    pub fn append(&mut self, record: &Record) -> Result<(), ServeError> {
+        let mut line = record.to_line();
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.flush())
+            .map_err(|e| ServeError::io(&self.path, e))
+    }
+}
+
+/// Reads a whole tape. Returns the records plus whether a torn final
+/// line (a record interrupted by a crash) was dropped.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] on read failure; [`ServeError::Tape`] when any
+/// line but the last is malformed, or the tape does not start with an
+/// `open` record.
+pub fn read_tape(path: &Path) -> Result<(Vec<Record>, bool), ServeError> {
+    let text = std::fs::read_to_string(path).map_err(|e| ServeError::io(path, e))?;
+    let lines: Vec<&str> = text.lines().collect();
+    let mut records = Vec::with_capacity(lines.len());
+    let mut dropped_tail = false;
+    let last = lines.len().saturating_sub(1);
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Record::parse_line(line) {
+            Ok(r) => records.push(r),
+            // A torn final line is the expected crash artifact; anything
+            // earlier means real corruption.
+            Err(_) if i == last => dropped_tail = true,
+            Err(message) => {
+                return Err(ServeError::Tape {
+                    line: i + 1,
+                    message,
+                })
+            }
+        }
+    }
+    match records.first() {
+        Some(Record::Open { .. }) => Ok((records, dropped_tail)),
+        Some(_) => Err(ServeError::Tape {
+            line: 1,
+            message: "tape does not start with an open record".into(),
+        }),
+        None => Err(ServeError::Tape {
+            line: 1,
+            message: "tape is empty".into(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_round_trip_through_their_line_form() {
+        let records = [
+            Record::Open {
+                spec: "parts=4 method=mlga refine=fm seed=7 threshold=1.5 hops=2".into(),
+                metis: "3 2\n2 3\n1 3\n1 2\n".into(),
+                coords: Some("0.5 0.5\n1 2\n3 4\n".into()),
+            },
+            Record::Open {
+                spec: "parts=2".into(),
+                metis: "1 0\n".into(),
+                coords: None,
+            },
+            Record::Batch {
+                seq: 12,
+                muts: "node 1 0.25 0.75;edge 0 1 1;weight 2 5".into(),
+            },
+            Record::Snapshot(Snapshot {
+                batches: 8,
+                epoch: 2,
+                baseline_cut: 41,
+                cut: 44,
+                labels: "0 1 2 1".into(),
+                metis: "4 3\n2\n1 3\n2 4\n3\n".into(),
+                coords: None,
+            }),
+            Record::Close { seq: 9 },
+        ];
+        for r in &records {
+            let line = r.to_line();
+            assert!(!line.contains('\n'), "{line}");
+            assert_eq!(&Record::parse_line(&line).unwrap(), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn escapes_survive_hostile_strings() {
+        let spec = "quote\" backslash\\ newline\n tab\t nul\u{0} unicode\u{00e9}";
+        let r = Record::Open {
+            spec: spec.into(),
+            metis: String::new(),
+            coords: None,
+        };
+        assert_eq!(Record::parse_line(&r.to_line()).unwrap(), r);
+    }
+
+    #[test]
+    fn malformed_lines_are_named_errors() {
+        assert!(Record::parse_line("not json").is_err());
+        assert!(
+            Record::parse_line("{\"t\":\"open\"}").is_err(),
+            "missing fields"
+        );
+        assert!(
+            Record::parse_line("{\"t\":\"frob\"}").is_err(),
+            "unknown type"
+        );
+        assert!(Record::parse_line("{\"t\":\"batch\",\"seq\":\"x\",\"muts\":\"\"}").is_err());
+        assert!(
+            Record::parse_line("{\"t\":\"close\",\"seq\":\"1\"} extra").is_err(),
+            "trailing garbage"
+        );
+    }
+
+    #[test]
+    fn read_tape_tolerates_only_a_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("gapart-tape-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let open = Record::Open {
+            spec: "parts=2".into(),
+            metis: "1 0\n".into(),
+            coords: None,
+        };
+        let batch = Record::Batch {
+            seq: 0,
+            muts: "weight 0 2".into(),
+        };
+
+        // Torn tail: dropped, flagged.
+        let torn = dir.join("torn.tape");
+        std::fs::write(
+            &torn,
+            format!("{}\n{}\n{{\"t\":\"ba", open.to_line(), batch.to_line()),
+        )
+        .unwrap();
+        let (records, dropped) = read_tape(&torn).unwrap();
+        assert_eq!(records, vec![open.clone(), batch.clone()]);
+        assert!(dropped);
+
+        // Corruption mid-tape: hard error with the line number.
+        let corrupt = dir.join("corrupt.tape");
+        std::fs::write(
+            &corrupt,
+            format!("{}\ngarbage\n{}\n", open.to_line(), batch.to_line()),
+        )
+        .unwrap();
+        assert!(matches!(
+            read_tape(&corrupt).unwrap_err(),
+            ServeError::Tape { line: 2, .. }
+        ));
+
+        // A tape that does not open with an open record is invalid.
+        let headless = dir.join("headless.tape");
+        std::fs::write(&headless, format!("{}\n", batch.to_line())).unwrap();
+        assert!(matches!(
+            read_tape(&headless).unwrap_err(),
+            ServeError::Tape { line: 1, .. }
+        ));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn writer_appends_flushed_lines() {
+        let dir = std::env::temp_dir().join(format!("gapart-tapew-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("w.tape");
+
+        let open = Record::Open {
+            spec: "parts=2".into(),
+            metis: "1 0\n".into(),
+            coords: None,
+        };
+        let mut w = TapeWriter::create(&path).unwrap();
+        w.append(&open).unwrap();
+        assert!(
+            TapeWriter::create(&path).is_err(),
+            "create refuses to clobber"
+        );
+
+        // Reopen for append, add a record, and read everything back.
+        drop(w);
+        let mut w = TapeWriter::append_to(&path).unwrap();
+        let close = Record::Close { seq: 0 };
+        w.append(&close).unwrap();
+        drop(w);
+        let (records, dropped) = read_tape(&path).unwrap();
+        assert_eq!(records, vec![open, close]);
+        assert!(!dropped);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -18,17 +18,18 @@
 //!   hotspot scenarios) for `stream`.
 //! * `stream`     — replay a mutation trace through a dynamic
 //!   repartitioning session (localized refinement + escalation).
+//! * `serve`      — multi-session partition daemon over stdio or a Unix
+//!   socket, with durable per-session tapes and crash recovery.
 
-use crate::core::dynamic::{BatchAction, DynamicConfig, DynamicSession};
+use crate::core::dynamic::{BatchAction, DynamicError, SessionSpec};
 use crate::core::incremental::incremental_ga;
 use crate::core::{CrossoverOp, DpgaConfig, FitnessKind, GaConfig, HillClimbMode};
 use crate::graph::dynamic::scenario::{generate as generate_trace, Scenario, TraceSpec};
 use crate::graph::dynamic::trace::{parse_trace, trace_to_text};
 use crate::graph::generators::{gnp, grid2d, jittered_mesh, random_geometric, GridKind};
-use crate::graph::geometry::Point2;
 use crate::graph::incremental::grow_local;
-use crate::graph::io::{coords_from_text, coords_to_text, from_metis, to_metis};
-use crate::graph::partition::{Partition, PartitionMetrics};
+use crate::graph::io::{attach_coords, coords_from_text, coords_to_text, from_metis, to_metis};
+use crate::graph::partition::{hash_labels, Partition, PartitionMetrics};
 use crate::graph::partitioner::Partitioner;
 use crate::graph::refine::RefineScheme;
 use crate::graph::CsrGraph;
@@ -162,6 +163,22 @@ USAGE:
               seeded per §3.5, refinement stays on the dirty frontier,
               and the cut degrading past --threshold × the epoch's
               baseline escalates to a full --method repartition)
+  gapart-cli serve --tape-dir DIR [--socket PATH] [--snapshot-every N]
+             (long-running daemon holding many named dynamic sessions;
+              newline-delimited commands on stdin — or on a Unix socket
+              with --socket — one `ok`/`err` reply line per command:
+                open NAME graph=G.metis parts=P [coords=G.xy]
+                          [method=..] [refine=..] [seed=..]
+                          [threshold=..] [hops=..]
+                open NAME                  # recover from DIR/NAME.tape
+                mutate NAME node W | edge U V W | weight N W
+                commit NAME | query NAME | snapshot NAME
+                replay NAME trace=T [from=B]
+                close NAME | sessions | shutdown
+              every session appends to a durable tape in DIR with a
+              snapshot every N batches (default 8); after a crash,
+              `open NAME` replays the tail and lands on a labelling
+              bit-identical to the uninterrupted run)
 ";
 
 /// Executes a parsed command, returning the text to print.
@@ -195,6 +212,7 @@ fn dispatch(args: &Args) -> Result<String, CliError> {
         "grow" => cmd_grow(args),
         "trace" => cmd_trace(args),
         "stream" => cmd_stream(args),
+        "serve" => cmd_serve(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
     }
@@ -207,28 +225,9 @@ fn load_graph(path: &str, coords_path: Option<&str>) -> Result<CsrGraph, CliErro
         let ctext = std::fs::read_to_string(cp)?;
         let coords =
             coords_from_text(&ctext).map_err(|e| CliError::Failed(format!("{cp}: {e}")))?;
-        if coords.len() != g.num_nodes() {
-            return Err(CliError::Failed(format!(
-                "{cp}: {} coordinates for {} nodes",
-                coords.len(),
-                g.num_nodes()
-            )));
-        }
-        g = rebuild_with_coords(&g, coords)?;
+        g = attach_coords(&g, coords).map_err(|e| CliError::Failed(format!("{cp}: {e}")))?;
     }
     Ok(g)
-}
-
-/// Rebuilds a graph with coordinates attached (CsrGraph is immutable).
-fn rebuild_with_coords(g: &CsrGraph, coords: Vec<Point2>) -> Result<CsrGraph, CliError> {
-    let mut b = crate::graph::GraphBuilder::with_nodes(g.num_nodes());
-    for (u, v, w) in g.edges() {
-        b.push_edge(u, v, w);
-    }
-    b.node_weights(g.node_weights().to_vec())
-        .coords(coords)
-        .build()
-        .map_err(|e| CliError::Failed(e.to_string()))
 }
 
 fn save_labels(path: &str, p: &Partition) -> Result<(), CliError> {
@@ -602,46 +601,63 @@ fn cmd_trace(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+/// Builds a [`SessionSpec`] from the `--parts/--method/--refine/--seed/
+/// --threshold/--hops` flags. The flag names ARE the spec keys, and the
+/// values go through [`SessionSpec::set`] — the same validation path the
+/// serve protocol's `open` command and the session tape use, so every
+/// surface accepts and rejects identically.
+fn spec_from_flags(args: &Args) -> Result<SessionSpec, CliError> {
+    let mut spec = SessionSpec::new(0);
+    let mut saw_parts = false;
+    for key in ["parts", "method", "refine", "seed", "threshold", "hops"] {
+        if let Some(v) = args.flag(key) {
+            spec.set(key, v)
+                .map_err(|e| CliError::Usage(format!("--{key} {v}: {e}")))?;
+            saw_parts |= key == "parts";
+        }
+    }
+    if !saw_parts {
+        return Err(CliError::Usage("--parts must be set".into()));
+    }
+    Ok(spec)
+}
+
+/// Maps a session-open failure to the CLI's exit discipline: an unknown
+/// method is a usage error (the user typed it), everything else failed
+/// work.
+fn open_error(e: DynamicError) -> CliError {
+    match e {
+        DynamicError::UnknownMethod(m) => CliError::Usage(format!(
+            "--method {m}: expected one of {}",
+            crate::partitioners::NAMES.join("|")
+        )),
+        other => CliError::Failed(other.to_string()),
+    }
+}
+
 fn cmd_stream(args: &Args) -> Result<String, CliError> {
     let path = args
         .positional
         .get(1)
         .ok_or_else(|| CliError::Usage("stream needs a graph file".into()))?;
-    let parts: u32 = args.flag_parse("parts", 0u32)?;
-    if parts == 0 {
-        return Err(CliError::Usage("--parts must be positive".into()));
-    }
+    let spec = spec_from_flags(args)?;
     let trace_path = args.require("trace")?;
-    let method = args.flag("method").unwrap_or("mlga");
-    let threshold: f64 = args.flag_parse("threshold", 1.5f64)?;
-    let hops: usize = args.flag_parse("hops", 2usize)?;
-    let seed: u64 = args.flag_parse("seed", 0x5343_3934u64)?;
-    // One engine for both refinement surfaces of a stream: the session's
-    // dirty-frontier passes and the escalation method's V-cycle.
-    let refine_scheme = parse_refine(args)?;
 
     let graph = load_graph(path, args.flag("coords"))?;
     let trace_text = std::fs::read_to_string(trace_path)?;
     let trace =
         parse_trace(&trace_text).map_err(|e| CliError::Failed(format!("{trace_path}: {e}")))?;
-    let full = crate::partitioners::by_name_with(method, refine_scheme).ok_or_else(|| {
-        CliError::Usage(format!(
-            "--method {method}: expected one of {}",
-            crate::partitioners::NAMES.join("|")
-        ))
-    })?;
-
-    let config = DynamicConfig::new(parts)
-        .with_seed(seed)
-        .with_escalate_ratio(threshold)
-        .with_frontier_hops(hops)
-        .with_refine_scheme(refine_scheme);
-    let mut session =
-        DynamicSession::new(graph, full, config).map_err(|e| CliError::Failed(e.to_string()))?;
+    // One engine for both refinement surfaces of a stream: the session's
+    // dirty-frontier passes and the escalation method's V-cycle.
+    let mut session = spec
+        .open(graph, crate::partitioners::by_name_with)
+        .map_err(open_error)?;
 
     let mut out = format!(
-        "opened session: {} nodes, {parts} parts, method {method}, baseline cut {}\n",
+        "opened session: {} nodes, {} parts, method {}, baseline cut {}\n",
         session.graph().num_nodes(),
+        spec.parts,
+        spec.method,
         session.baseline_cut()
     );
     let _ = writeln!(
@@ -683,8 +699,15 @@ fn cmd_stream(args: &Args) -> Result<String, CliError> {
     out.push_str(&render_metrics(
         session.graph(),
         session.partition(),
-        &format!("stream/{method}"),
+        &format!("stream/{}", spec.method),
     ));
+    // The determinism witness: the same hash `serve`'s query/replay
+    // paths report, so CI can diff live and recovered runs directly.
+    let _ = writeln!(
+        out,
+        "labels hash: {}",
+        hash_labels(session.partition().labels())
+    );
     if let Some(lp) = args.flag("labels-out") {
         save_labels(lp, session.partition())?;
         let _ = writeln!(out, "labels written to {lp}");
@@ -703,6 +726,47 @@ fn cmd_stream(args: &Args) -> Result<String, CliError> {
         let _ = writeln!(out, "coordinates written to {cp}");
     }
     Ok(out)
+}
+
+/// `gapart-cli serve`: the multi-session partition daemon. Commands
+/// come from stdin (or a Unix socket with `--socket`); replies go to
+/// stdout, one line each, flushed per command. Session tapes live under
+/// `--tape-dir`, one `<name>.tape` per session, so a later `serve` run
+/// recovers any session by name with a bare `open <name>`.
+fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    let tape_dir = args.require("tape-dir")?;
+    let snapshot_every: usize = args.flag_parse("snapshot-every", 8usize)?;
+    let config = crate::serve::ServeConfig {
+        tape_dir: tape_dir.into(),
+        snapshot_every,
+    };
+    let mut daemon = crate::serve::Daemon::new(config, crate::partitioners::by_name_with)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let summary = match args.flag("socket") {
+        Some(path) => crate::serve::serve_unix(&mut daemon, std::path::Path::new(path))
+            .map_err(|e| CliError::Failed(e.to_string()))?,
+        None => {
+            let stdin = std::io::stdin();
+            let mut stdout = std::io::stdout();
+            crate::serve::serve(&mut daemon, stdin.lock(), &mut stdout)?
+        }
+    };
+    // EOF without a shutdown command still ends the process: leave every
+    // tape with a final snapshot so the next open recovers instantly.
+    daemon
+        .close_all()
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    if summary.errors > 0 {
+        return Err(CliError::Failed(format!(
+            "{} of {} commands failed (see err replies above)",
+            summary.errors, summary.commands
+        )));
+    }
+    Ok(format!(
+        "served {} commands ({})\n",
+        summary.commands,
+        if summary.shutdown { "shutdown" } else { "eof" }
+    ))
 }
 
 fn render_metrics(graph: &CsrGraph, partition: &Partition, method: &str) -> String {

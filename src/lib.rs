@@ -14,6 +14,9 @@
 //! * [`core`] — the paper's contribution: the GA partitioner with KNUX and
 //!   DKNUX crossover, DPGA distributed populations, hill climbing, and
 //!   incremental repartitioning.
+//! * [`serve`] — the multi-session partition daemon behind
+//!   `gapart-cli serve`: session protocol, durable session tape, crash
+//!   recovery.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +54,7 @@ pub use gapart_graph as graph;
 pub use gapart_ibp as ibp;
 pub use gapart_linalg as linalg;
 pub use gapart_rsb as rsb;
+pub use gapart_serve as serve;
 
 pub mod cli;
 pub mod partitioners;

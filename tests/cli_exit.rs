@@ -2,7 +2,8 @@
 //! must exit non-zero with a one-line diagnostic (usage errors exit 2,
 //! everything else exits 1) and never panic.
 
-use std::process::Command;
+use std::io::Write;
+use std::process::{Command, Stdio};
 
 fn cli() -> Command {
     Command::new(env!("CARGO_BIN_EXE_gapart-cli"))
@@ -79,5 +80,49 @@ fn failed_operations_exit_1_without_panicking() {
     assert!(err.contains("coordinates"), "{err}");
     assert!(!err.contains("panicked"), "{err}");
 
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_without_tape_dir_is_a_usage_error() {
+    let out = cli().args(["serve"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--tape-dir"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn serve_protocol_errors_reply_err_and_exit_1() {
+    let dir = std::env::temp_dir().join(format!("gapart-serve-exit-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // The daemon answers every bad command with an `err` line (it keeps
+    // serving), then exits 1 at EOF because errors occurred.
+    let mut child = cli()
+        .args(["serve", "--tape-dir", dir.join("tapes").to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"frobnicate x\nopen bad/name graph=g parts=2\nquery nosuch\nopen s parts=2\nsessions\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let replies: Vec<&str> = stdout.lines().collect();
+    assert!(replies[0].starts_with("err protocol"), "{stdout}");
+    assert!(replies[1].starts_with("err protocol"), "{stdout}");
+    assert!(replies[2].starts_with("err protocol"), "{stdout}");
+    assert!(replies[3].starts_with("err protocol"), "{stdout}"); // no tape, no graph=
+    assert_eq!(replies[4], "ok sessions=0 names=");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(!err.contains("panicked"), "{err}");
     std::fs::remove_dir_all(&dir).ok();
 }

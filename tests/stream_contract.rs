@@ -38,9 +38,11 @@ fn replay(
     let mut s = DynamicSession::new(
         graph.clone(),
         mlga(),
-        DynamicConfig::new(PARTS)
-            .with_seed(SEED)
-            .with_escalate_ratio(escalate_ratio),
+        DynamicConfig {
+            seed: SEED,
+            escalate_ratio,
+            ..DynamicConfig::new(PARTS)
+        },
     )
     .unwrap();
     s.replay(trace).unwrap();
@@ -101,10 +103,12 @@ fn replay_with_parallel_fm_is_bit_identical_between_a_forced_pool_and_a_direct_r
         let mut s = DynamicSession::new(
             graph.clone(),
             partitioners::by_name_with("mlga", RefineScheme::ParallelFm).unwrap(),
-            DynamicConfig::new(PARTS)
-                .with_seed(SEED)
-                .with_escalate_ratio(1.02)
-                .with_refine_scheme(RefineScheme::ParallelFm),
+            DynamicConfig {
+                seed: SEED,
+                escalate_ratio: 1.02,
+                refine_scheme: RefineScheme::ParallelFm,
+                ..DynamicConfig::new(PARTS)
+            },
         )
         .unwrap();
         s.replay(trace).unwrap();
